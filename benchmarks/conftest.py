@@ -1,0 +1,112 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Every ``test_*`` here regenerates one table or figure of the paper's
+Section VII (see DESIGN.md section 4 for the index): it sweeps the
+figure's parameter, runs the paper's algorithm line-up on each point,
+prints the same objective/runtime series the figure plots, and uses
+``pytest-benchmark`` to time the headline WMA solve on the largest
+point.
+
+Run with:
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import pytest
+
+from repro import SOLVERS
+from repro.bench import experiments as ex
+from repro.bench.harness import BenchRow, run_solvers
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    paper_shape_summary,
+)
+
+EXACT_TIME_LIMIT = 45.0
+
+
+def run_experiment(
+    benchmark,
+    cases: Sequence[tuple[dict[str, Any], Any]],
+    *,
+    x_key: str,
+    title: str,
+    methods: Sequence[str] = ("wma", "hilbert", "wma-naive"),
+    with_exact: bool = True,
+    benchmark_method: str = "wma",
+) -> list[BenchRow]:
+    """Run a figure's sweep, print its series, and benchmark one solve.
+
+    The benchmarked call is the ``benchmark_method`` solver on the last
+    (largest) case; every other (method, case) pair runs exactly once
+    outside the timer.
+    """
+    rows: list[BenchRow] = []
+    for idx, (params, instance) in enumerate(cases):
+        case_methods = list(methods)
+        if with_exact and ex.include_exact(instance):
+            case_methods.append("exact")
+        is_last = idx == len(cases) - 1
+        for method in case_methods:
+            if is_last and method == benchmark_method:
+                continue  # timed separately below
+            kwargs = (
+                {"exact_time_limit": EXACT_TIME_LIMIT}
+                if method == "exact"
+                else {}
+            )
+            rows += run_solvers(
+                instance, [method], params=params, **kwargs
+            )
+
+    params, instance = cases[-1]
+    solution = benchmark.pedantic(
+        lambda: SOLVERS[benchmark_method](instance), rounds=1, iterations=1
+    )
+    from repro.core.validation import validate_solution
+
+    validate_solution(instance, solution)
+    rows.append(
+        BenchRow(
+            label=instance.name,
+            method=benchmark_method,
+            objective=solution.objective,
+            runtime_sec=solution.runtime_sec,
+            params=params,
+            meta=dict(solution.meta),
+        )
+    )
+
+    print()
+    print(format_series(rows, x_key=x_key, value="objective",
+                        title=f"{title} -- objective"))
+    print()
+    print(format_series(rows, x_key=x_key, value="runtime_sec",
+                        title=f"{title} -- runtime [s]"))
+    summary = paper_shape_summary(rows)
+    print()
+    print(format_table(
+        [{"method": m, **stats} for m, stats in sorted(summary.items())],
+        title=f"{title} -- mean objective ratio vs best",
+    ))
+    benchmark.extra_info["shape"] = summary
+
+    # Minimal sanity: the paper's algorithm must succeed on every point.
+    assert all(
+        r.status == "ok" for r in rows if r.method == benchmark_method
+    ), f"{benchmark_method} failed on some sweep points"
+    return rows
+
+
+@pytest.fixture
+def experiment(benchmark) -> Callable[..., list[BenchRow]]:
+    """Figure-runner fixture bound to this test's benchmark."""
+
+    def runner(cases, **kwargs):
+        return run_experiment(benchmark, cases, **kwargs)
+
+    return runner

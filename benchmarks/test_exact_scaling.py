@@ -1,0 +1,81 @@
+"""Exact-solver scaling wall: where the MILP stops being practical.
+
+The paper reports Gurobi failing beyond 8192 nodes (Fig 6), beyond 60% of
+nodes as candidates (Fig 8a), and never finishing on the Table IV cities.
+This bench maps the same wall for the HiGHS stand-in directly: a sweep of
+the candidate-set size on a fixed network, with a hard time budget per
+point, reporting where timeouts begin while WMA cruises.
+"""
+
+from __future__ import annotations
+
+from repro import SOLVERS
+from repro.bench.harness import BenchRow, run_solvers
+from repro.bench.reporting import format_table
+from repro.datagen.instances import clustered_instance
+
+TIME_LIMIT = 20.0
+
+
+def test_exact_scaling(benchmark):
+    fracs = (0.1, 0.25, 0.5, 1.0)
+    cases = []
+    for frac in fracs:
+        cases.append(
+            (
+                {"l_frac": frac},
+                clustered_instance(
+                    256,
+                    n_clusters=20,
+                    alpha=1.5,
+                    customer_frac=0.2,
+                    facility_frac=frac,
+                    capacity=10,
+                    k_frac_of_m=0.3,
+                    seed=11,
+                ),
+            )
+        )
+
+    rows: list[BenchRow] = []
+    for params, instance in cases:
+        rows += run_solvers(
+            instance,
+            ["exact", "wma"],
+            params=params,
+            exact_time_limit=TIME_LIMIT,
+        )
+
+    # Benchmark the largest exact attempt separately for the timing table.
+    _, biggest = cases[-1]
+
+    def attempt_exact():
+        try:
+            return SOLVERS["exact"](biggest, time_limit=TIME_LIMIT)
+        except Exception as exc:  # timeout is the expected outcome
+            return exc
+
+    benchmark.pedantic(attempt_exact, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Exact-vs-WMA wall (n=256, time budget {TIME_LIMIT:.0f}s)",
+        )
+    )
+
+    wma_rows = [r for r in rows if r.method == "wma"]
+    exact_rows = [r for r in rows if r.method == "exact"]
+    # WMA must finish everywhere, quickly.
+    assert all(r.status == "ok" for r in wma_rows)
+    assert max(r.runtime_sec for r in wma_rows) < 10.0
+    # The exact solver must degrade with the candidate count: runtime
+    # non-trivially increasing or outright timeouts at the top end.
+    ok_exact = [r for r in exact_rows if r.status == "ok"]
+    if len(ok_exact) == len(exact_rows):
+        assert ok_exact[-1].runtime_sec > ok_exact[0].runtime_sec
+    else:
+        # Timeouts happened: they must be at the large end, not the small.
+        assert exact_rows[0].status == "ok"
+    benchmark.extra_info["rows"] = [r.cells() for r in rows]

@@ -1,0 +1,31 @@
+"""Figure 10: scalability on the Aalborg proxy with growing m and k.
+
+Fixed occupancy o=0.5, c=20, k=0.1m, growing customer count.  Expected
+shape: WMA's quality advantage over Hilbert grows with problem size;
+WMA Naive is competitive in runtime but worse in objective; BRNN's
+objective "grows rapidly".
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as ex
+from repro.bench.reporting import paper_shape_summary
+
+
+def test_fig10(experiment):
+    rows = experiment(
+        ex.fig10_cases(),
+        x_key="m",
+        title="Fig 10 (Aalborg proxy, o=0.5, k=0.1m)",
+        methods=("wma", "hilbert", "wma-naive", "brnn"),
+        with_exact=False,
+    )
+    summary = paper_shape_summary(rows)
+    assert (
+        summary["wma"]["mean_ratio_to_best"]
+        <= summary["hilbert"]["mean_ratio_to_best"]
+    )
+    assert (
+        summary["wma"]["mean_ratio_to_best"]
+        <= summary["brnn"]["mean_ratio_to_best"]
+    )

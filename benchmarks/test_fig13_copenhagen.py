@@ -1,0 +1,42 @@
+"""Figure 13: Copenhagen coworking (a) and bike docking stations (b).
+
+Expected shapes (paper): WMA and UF WMA "outperform the baselines and
+almost match Gurobi"; the objective decreases as k grows (the problem
+gets easier with more usable facilities); Hilbert's accuracy improves
+with more facilities.
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as ex
+
+
+def test_fig13a(experiment):
+    rows = experiment(
+        ex.fig13a_cases(),
+        x_key="k",
+        title="Fig 13a (Copenhagen coworking)",
+        methods=("wma", "wma-uf", "hilbert", "wma-naive"),
+    )
+    wma = sorted(
+        (r.params["k"], r.objective) for r in rows if r.method == "wma"
+    )
+    assert wma[-1][1] <= wma[0][1]
+
+
+def test_fig13b(experiment):
+    rows = experiment(
+        ex.fig13b_cases(),
+        x_key="k",
+        title="Fig 13b (Copenhagen bike docking stations)",
+        methods=("wma", "wma-uf", "hilbert", "wma-naive"),
+        with_exact=True,
+    )
+    by_k: dict[int, dict[str, float]] = {}
+    for r in rows:
+        if r.objective is not None:
+            by_k.setdefault(r.params["k"], {})[r.method] = r.objective
+    # WMA (direct) beats or matches Hilbert at every sweep point.
+    for k, objs in by_k.items():
+        if "hilbert" in objs:
+            assert objs["wma"] <= objs["hilbert"] * 1.05, k

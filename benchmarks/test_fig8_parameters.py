@@ -1,0 +1,107 @@
+"""Figure 8: clustered data, varying candidate count, customers, and k.
+
+Expected shapes (paper): Hilbert is sensitive to the candidate-set size
+while WMA is stable (8a); the objective grows with customers (8b, 8c)
+and drops with more facilities (8d); WMA's runtime *drops* as k grows
+(fewer iterations needed to find a cover).
+"""
+
+from __future__ import annotations
+
+from repro import SOLVERS
+from repro.bench import experiments as ex
+from repro.bench.harness import BenchRow, run_solvers
+from repro.bench.reporting import (
+    format_series,
+    mean_rows,
+    paper_shape_summary,
+)
+
+
+def test_fig8a(benchmark):
+    """Candidate-set sweep, seed-averaged (3 seeds per point)."""
+    cases = ex.fig8a_cases()
+    methods = ("wma", "hilbert", "wma-naive")
+    rows: list[BenchRow] = []
+    for params, instance in cases[:-1]:
+        rows += run_solvers(instance, methods, params=params)
+
+    params, instance = cases[-1]
+    solution = benchmark.pedantic(
+        lambda: SOLVERS["wma"](instance), rounds=1, iterations=1
+    )
+    rows.append(
+        BenchRow(
+            label=instance.name,
+            method="wma",
+            objective=solution.objective,
+            runtime_sec=solution.runtime_sec,
+            params=params,
+        )
+    )
+    rows += run_solvers(
+        instance, [m for m in methods if m != "wma"], params=params
+    )
+
+    averaged = mean_rows(rows, x_key="l_frac")
+    print()
+    print(format_series(averaged, x_key="l_frac", value="objective",
+                        title="Fig 8a -- mean objective over 3 seeds"))
+    print()
+    print(format_series(averaged, x_key="l_frac", value="runtime_sec",
+                        title="Fig 8a -- mean runtime [s]"))
+
+    summary = paper_shape_summary(averaged)
+    print()
+    for method, stats in sorted(summary.items()):
+        print(f"{method}: mean ratio to best {stats['mean_ratio_to_best']}")
+    benchmark.extra_info["shape"] = summary
+
+    # Shape (relaxed): WMA stays in Hilbert's quality neighborhood across
+    # the sweep -- at benchmark scale tiny cover gains make individual
+    # instances noisy; EXPERIMENTS.md records the deviation from the
+    # paper's clearer separation at 10^4-node scale.
+    assert (
+        summary["wma"]["mean_ratio_to_best"]
+        <= summary["hilbert"]["mean_ratio_to_best"] + 0.35
+    )
+    # WMA must beat the naive variant, whose greedy matching is its
+    # actual ablation target.
+    assert (
+        summary["wma"]["mean_ratio_to_best"]
+        <= summary["wma-naive"]["mean_ratio_to_best"] + 0.05
+    )
+
+
+def test_fig8b(experiment):
+    rows = experiment(
+        ex.fig8b_cases(),
+        x_key="m",
+        title="Fig 8b (variable customer count)",
+    )
+    wma = sorted(
+        (r.params["m"], r.objective) for r in rows if r.method == "wma"
+    )
+    # Objective grows with the customer count.
+    assert wma[0][1] < wma[-1][1]
+
+
+def test_fig8c(experiment):
+    experiment(
+        ex.fig8c_cases(),
+        x_key="m",
+        title="Fig 8c (scale-up, multiple customers per node, o=0.1)",
+    )
+
+
+def test_fig8d(experiment):
+    rows = experiment(
+        ex.fig8d_cases(),
+        x_key="k",
+        title="Fig 8d (variable facility budget k)",
+    )
+    wma = sorted(
+        (r.params["k"], r.objective) for r in rows if r.method == "wma"
+    )
+    # More facilities -> lower objective.
+    assert wma[0][1] > wma[-1][1]

@@ -1,0 +1,39 @@
+"""Figure 9: effect of network density (alpha) and capacity (c).
+
+Expected shapes (paper): WMA's objective improves with average degree
+(better facilities reachable within fewer hops); capacity has little
+effect on quality except at very small capacities, where high occupancy
+makes the problem hard.
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as ex
+
+
+def test_fig9a(experiment):
+    rows = experiment(
+        ex.fig9a_cases(),
+        x_key="avg_degree",
+        title="Fig 9a (density sweep, 5 clusters, c=10)",
+    )
+    wma = sorted(
+        (r.params["avg_degree"], r.objective)
+        for r in rows
+        if r.method == "wma"
+    )
+    # Denser networks offer shorter paths: the objective should not grow
+    # with density.
+    assert wma[-1][1] <= wma[0][1] * 1.1
+
+
+def test_fig9b(experiment):
+    rows = experiment(
+        ex.fig9b_cases(),
+        x_key="c",
+        title="Fig 9b (capacity sweep, alpha=1.5)",
+    )
+    wma = {r.params["c"]: r.objective for r in rows if r.method == "wma"}
+    # Once capacity is ample, growing it further changes little (paper:
+    # "letting capacity grow further does not improve the solution").
+    assert wma[24] <= wma[2] * 1.05

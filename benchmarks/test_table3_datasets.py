@@ -1,0 +1,34 @@
+"""Table III: structural statistics of the (proxy) city networks.
+
+The paper's table reports nodes, edges, average/max degree, and average
+edge length for four OSM road networks.  The urban generators must
+reproduce the structural signature: low average degree (2.2-2.4), short
+edges, grid structure for Las Vegas.
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments as ex
+from repro.bench.reporting import format_table
+
+
+def test_table3(benchmark):
+    networks = benchmark.pedantic(
+        lambda: ex.table3_networks(scale=0.25), rounds=1, iterations=1
+    )
+    rows = []
+    for name, network in networks.items():
+        row = {"city": name}
+        row.update(network.stats().as_row())
+        rows.append(row)
+    print()
+    print(format_table(rows, title="Table III (proxy city networks)"))
+
+    by_city = {row["city"]: row for row in rows}
+    # Size ordering mirrors the paper: Aalborg smallest, Las Vegas largest.
+    assert by_city["aalborg"]["nodes"] < by_city["riga"]["nodes"]
+    assert by_city["aalborg"]["nodes"] < by_city["las_vegas"]["nodes"]
+    # Degree signature of road networks.
+    for row in rows:
+        assert 1.5 <= row["avg_degree"] <= 4.5, row
+    benchmark.extra_info["table"] = rows

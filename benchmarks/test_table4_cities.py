@@ -1,0 +1,59 @@
+"""Table IV: uniform-capacity facility selection on the city proxies.
+
+The paper's table reports objective / runtime for BRNN, Hilbert, WMA
+Naive, and WMA on four cities with m=512 customers, k=51, c=20, and
+F_p = V (Gurobi never finished).  Expected shape: WMA best everywhere;
+the margin over Hilbert shrinks on the grid-shaped Las Vegas network;
+BRNN is the worst on both quality and runtime.
+"""
+
+from __future__ import annotations
+
+from repro import SOLVERS
+from repro.bench import experiments as ex
+from repro.bench.harness import BenchRow, run_solvers
+from repro.bench.reporting import format_table
+
+
+def test_table4(benchmark):
+    cases = ex.table4_cases(scale=0.25, m=128, k=13, capacity=20)
+    methods = ("brnn", "hilbert", "wma-naive")
+    rows: list[BenchRow] = []
+    for params, instance in cases:
+        rows += run_solvers(instance, methods, params=params)
+
+    # Benchmark WMA on the Las Vegas proxy (the paper's biggest city),
+    # then run it on the rest.
+    vegas = next(inst for p, inst in cases if p["city"] == "las_vegas")
+    solution = benchmark.pedantic(
+        lambda: SOLVERS["wma"](vegas), rounds=1, iterations=1
+    )
+    rows.append(
+        BenchRow(
+            label=vegas.name,
+            method="wma",
+            objective=solution.objective,
+            runtime_sec=solution.runtime_sec,
+            params={"city": "las_vegas"},
+        )
+    )
+    for params, instance in cases:
+        if params["city"] == "las_vegas":
+            continue
+        rows += run_solvers(instance, ["wma"], params=params)
+
+    print()
+    print(format_table(rows, title="Table IV (m=128, k=13, c=20, F_p=V)"))
+
+    # Shape checks per city: WMA <= Hilbert <= BRNN (quality); the paper
+    # reports ~30% improvements except Las Vegas (~9%).
+    for params, _ in cases:
+        city = params["city"]
+        by_method = {
+            r.method: r.objective
+            for r in rows
+            if r.params.get("city") == city and r.objective is not None
+        }
+        assert by_method["wma"] <= by_method["hilbert"] * 1.02, city
+        assert by_method["hilbert"] <= by_method["brnn"] * 1.2, city
+    benchmark.extra_info["rows"] = [r.cells() for r in rows]

@@ -1,0 +1,56 @@
+"""Variance study: seed-to-seed stability of each heuristic.
+
+EXPERIMENTS.md attributes several shape deviations to WMA's tie-density
+noise at reproduction scale.  This bench quantifies it: the same figure
+configuration across several seeds, reporting mean +/- std per method.
+A companion data point for anyone tuning the tie-breaking extensions.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.sweeps import aggregate, seeded_sweep
+from repro.datagen.instances import clustered_instance
+
+
+def test_variance_study(benchmark):
+    def factory(seed):
+        return [
+            (
+                {"n": 512},
+                clustered_instance(
+                    512,
+                    n_clusters=20,
+                    alpha=1.5,
+                    customer_frac=0.2,
+                    capacity=20,
+                    k_frac_of_m=0.1,
+                    seed=seed,
+                ),
+            )
+        ]
+
+    rows = benchmark.pedantic(
+        lambda: seeded_sweep(
+            factory,
+            seeds=(0, 1, 2, 3, 4),
+            methods=("wma", "hilbert", "wma-naive"),
+            x_key="n",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    agg = aggregate(rows, x_key="n")
+    print()
+    print(format_table(agg, title="Variance over 5 seeds (Fig-7a config, n=512)"))
+
+    by_method = {row["method"]: row for row in agg}
+    for row in agg:
+        assert row["failures"] == 0
+        assert row["objective_std"] is not None
+    # Relative spread stays bounded: no method should swing by more than
+    # ~50% of its mean across seeds on this moderate configuration.
+    for method, row in by_method.items():
+        rel = row["objective_std"] / row["objective_mean"]
+        assert rel < 0.5, (method, rel)
+    benchmark.extra_info["rows"] = agg

@@ -1,0 +1,82 @@
+"""Dynamic customer reallocation on a fixed facility selection.
+
+The paper's introduction motivates MCFS with services that must be
+"solved scalably and repeatedly, as in applications requiring the
+dynamic reallocation of customers to facilities".  This example selects
+facilities once with WMA and then serves a live stream of customer
+arrivals and departures, keeping the assignment *optimal* at every step
+without re-solving from scratch.
+
+Run:
+    python examples/dynamic_reallocation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DynamicAllocator, solve
+from repro.bench.reporting import format_table
+from repro.datagen import clustered_instance
+from repro.errors import MatchingError
+
+
+def main() -> None:
+    instance = clustered_instance(
+        512, n_clusters=20, alpha=1.5, customer_frac=0.1,
+        capacity=20, k_frac_of_m=0.2, seed=5,
+    )
+    print("Instance:", instance.describe())
+
+    solution = solve(instance, method="wma")
+    print(
+        f"WMA selected {len(solution.selected)} facilities, "
+        f"initial objective {solution.objective:.0f}"
+    )
+    print()
+
+    allocator = DynamicAllocator(instance, solution.selected)
+    rng = np.random.default_rng(1)
+    live = list(range(instance.m))
+
+    log = []
+    for step in range(60):
+        if live and rng.random() < 0.45:
+            handle = live.pop(int(rng.integers(len(live))))
+            allocator.remove_customer(handle)
+            action = "departure"
+        else:
+            node = int(rng.integers(instance.network.n_nodes))
+            try:
+                live.append(allocator.add_customer(node))
+                action = "arrival"
+            except MatchingError:
+                action = "rejected (no capacity reachable)"
+        if step % 12 == 0:
+            log.append(
+                {
+                    "step": step,
+                    "event": action,
+                    "active": allocator.n_active,
+                    "cost": round(allocator.cost, 1),
+                    "residual_capacity": allocator.residual_capacity(),
+                }
+            )
+
+    print(format_table(log, title="Churn timeline (every 12th step)"))
+    print()
+
+    moves = [e.reassigned for e in allocator.events if e.kind == "arrival"]
+    print(
+        f"{len(moves)} arrivals processed; "
+        f"{sum(1 for x in moves if x > 0)} of them rewired existing "
+        f"customers (max {max(moves, default=0)} moved at once)."
+    )
+    print(
+        "The assignment after every step is provably optimal for the "
+        "active customers on the fixed selection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Seed-averaged comparison with error bars.
+
+Single instances at reproduction scale are noisy (marginal cover gains
+are tiny integers, so tie-breaking moves outcomes); this example shows
+the right way to compare heuristics here: run each configuration across
+several seeds and report mean +/- standard deviation.
+
+Run:
+    python examples/error_bars.py [--seeds 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.reporting import format_table
+from repro.bench.sweeps import aggregate, seeded_sweep
+from repro.datagen.instances import clustered_instance
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument("--n", type=int, default=512)
+    args = parser.parse_args()
+
+    def factory(seed):
+        return [
+            (
+                {"clusters": clusters},
+                clustered_instance(
+                    args.n,
+                    n_clusters=clusters,
+                    alpha=1.5,
+                    customer_frac=0.15,
+                    capacity=10,
+                    k_frac_of_m=0.3,
+                    seed=seed,
+                ),
+            )
+            for clusters in (5, 20, 40)
+        ]
+
+    rows = seeded_sweep(
+        factory,
+        seeds=tuple(range(args.seeds)),
+        methods=("wma", "hilbert", "wma-naive"),
+        x_key="clusters",
+    )
+    agg = aggregate(rows, x_key="clusters")
+    print(
+        format_table(
+            agg,
+            title=(
+                f"Clustered instances, n={args.n}, "
+                f"{args.seeds} seeds per point (mean +/- std)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Reading guide: objective_std / objective_mean is each heuristic's "
+        "seed-to-seed volatility; WMA's shrinks as instances grow."
+    )
+
+
+if __name__ == "__main__":
+    main()

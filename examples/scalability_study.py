@@ -1,0 +1,67 @@
+"""Scalability study: WMA vs the exact solver as networks grow.
+
+Reproduces the headline storyline of the paper's Figure 6 at laptop
+scale: the exact MILP solver's runtime explodes with network size while
+WMA (and the Hilbert baseline) grow gracefully, with WMA's objective
+staying close to optimal where the optimum is computable.
+
+Run:
+    python examples/scalability_study.py [--sizes 128,256,512]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import experiments as ex
+from repro.bench.harness import run_solvers
+from repro.bench.reporting import format_series, paper_shape_summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        default="128,256,512",
+        help="comma-separated network sizes to sweep",
+    )
+    parser.add_argument(
+        "--exact-time-limit",
+        type=float,
+        default=30.0,
+        help="seconds before the exact solver is declared failed",
+    )
+    args = parser.parse_args()
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+
+    rows = []
+    for params, instance in ex.fig6a_cases(sizes=sizes, seed=0):
+        methods = ["wma", "hilbert", "wma-naive"]
+        if ex.include_exact(instance):
+            methods.append("exact")
+        rows += run_solvers(
+            instance,
+            methods,
+            params=params,
+            exact_time_limit=args.exact_time_limit,
+        )
+        print(f"  solved n={params['n']}")
+
+    print()
+    print(format_series(rows, x_key="n", value="objective",
+                        title="Objective by network size (Fig 6a shape)"))
+    print()
+    print(format_series(rows, x_key="n", value="runtime_sec",
+                        title="Runtime [s] by network size"))
+    print()
+    summary = paper_shape_summary(rows)
+    for method, stats in sorted(summary.items()):
+        print(
+            f"{method:10s} mean objective ratio to best: "
+            f"{stats['mean_ratio_to_best']:.3f} "
+            f"(mean runtime {stats['mean_runtime_sec']:.3f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""repro: Multicapacity Facility Selection in Networks (ICDE 2019).
+
+A from-scratch reproduction of Logins, Karras & Jensen, *Multicapacity
+Facility Selection in Networks*: the Wide Matching Algorithm (WMA), its
+bipartite-matching and network substrates, the paper's baselines
+(Hilbert, BRNN, WMA Naive), an exact MILP solver, and the data
+generators and benchmarks behind every table and figure of the paper's
+evaluation.
+
+Quickstart
+----------
+>>> from repro import solve, MCFSInstance
+>>> from repro.datagen import uniform_instance
+>>> instance = uniform_instance(256, seed=7)
+>>> solution = solve(instance, method="wma")
+>>> solution.objective > 0
+True
+
+The :func:`solve` dispatcher accepts ``method`` in ``{"wma", "wma-uf",
+"wma-naive", "hilbert", "brnn", "random", "exact"}``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import (
+    solve_brnn,
+    solve_exact,
+    solve_hilbert,
+    solve_kmedian_ls,
+    solve_random,
+    solve_wma_naive,
+)
+from repro.core import (
+    DynamicAllocator,
+    MCFSInstance,
+    MCFSSolution,
+    WMASolver,
+    WMATrace,
+    evaluate_objective,
+    refine_solution,
+    solve_wma,
+    solve_wma_refined,
+    solve_wma_uniform_first,
+    validate_solution,
+)
+from repro.errors import (
+    GraphError,
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    MatchingError,
+    ReproError,
+    SolverError,
+)
+from repro.network import Network
+
+__version__ = "1.0.0"
+
+SOLVERS: dict[str, Callable[..., MCFSSolution]] = {
+    "wma": solve_wma,
+    "wma-uf": solve_wma_uniform_first,
+    "wma-naive": solve_wma_naive,
+    "wma-ls": solve_wma_refined,
+    "hilbert": solve_hilbert,
+    "brnn": solve_brnn,
+    "kmedian-ls": solve_kmedian_ls,
+    "random": solve_random,
+    "exact": solve_exact,
+}
+
+
+def solve(
+    instance: MCFSInstance, method: str = "wma", **kwargs
+) -> MCFSSolution:
+    """Solve an MCFS instance with the chosen algorithm.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance.
+    method:
+        One of ``"wma"`` (the paper's algorithm), ``"wma-uf"`` (its
+        Uniform-First variant), ``"wma-naive"``, ``"wma-ls"`` (WMA plus
+        local-search refinement), ``"hilbert"``, ``"brnn"``,
+        ``"random"``, or ``"exact"`` (MILP, small instances only).
+    kwargs:
+        Forwarded to the specific solver (e.g. ``seed`` for randomized
+        baselines, ``time_limit`` for the exact solver).
+    """
+    try:
+        solver = SOLVERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(SOLVERS)}"
+        ) from None
+    return solver(instance, **kwargs)
+
+
+__all__ = [
+    "solve",
+    "SOLVERS",
+    "MCFSInstance",
+    "MCFSSolution",
+    "Network",
+    "WMASolver",
+    "WMATrace",
+    "solve_wma",
+    "solve_wma_uniform_first",
+    "solve_wma_naive",
+    "solve_wma_refined",
+    "refine_solution",
+    "DynamicAllocator",
+    "solve_hilbert",
+    "solve_brnn",
+    "solve_kmedian_ls",
+    "solve_random",
+    "solve_exact",
+    "evaluate_objective",
+    "validate_solution",
+    "ReproError",
+    "GraphError",
+    "InvalidInstanceError",
+    "InfeasibleInstanceError",
+    "MatchingError",
+    "SolverError",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Post-hoc analysis of MCFS solutions and solver runs."""
+
+from repro.analysis.reports import (
+    SolutionStats,
+    compare_solutions,
+    convergence_report,
+    solution_stats,
+)
+from repro.analysis.robustness import (
+    DriftPoint,
+    drift_study,
+    reassignment_cost,
+    selection_regret,
+)
+
+__all__ = [
+    "SolutionStats",
+    "solution_stats",
+    "compare_solutions",
+    "convergence_report",
+    "DriftPoint",
+    "drift_study",
+    "reassignment_cost",
+    "selection_regret",
+]

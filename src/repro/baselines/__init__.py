@@ -1,0 +1,32 @@
+"""Baselines and the exact solver used in the paper's evaluation.
+
+* :mod:`repro.baselines.exact` -- the MILP formulation (1)-(3) solved by
+  HiGHS through :func:`scipy.optimize.milp`; the stand-in for the Gurobi
+  Optimizer of Section VII.
+* :mod:`repro.baselines.hilbert` -- the Hilbert space-filling-curve
+  bucketing baseline of Section VII-A.
+* :mod:`repro.baselines.brnn` -- the iterative Bichromatic Reverse
+  Nearest Neighbor (MaxSum) baseline of Sections III-A and VII-A.
+* :mod:`repro.baselines.wma_naive` -- WMA with greedy, non-rewiring
+  demand satisfaction.
+* :mod:`repro.baselines.random_select` -- random feasible selection plus
+  optimal assignment; a sanity floor not present in the paper.
+"""
+
+from repro.baselines.brnn import solve_brnn
+from repro.baselines.exact import ExactSolution, lp_lower_bound, solve_exact
+from repro.baselines.hilbert import solve_hilbert
+from repro.baselines.kmedian_ls import solve_kmedian_ls
+from repro.baselines.random_select import solve_random
+from repro.baselines.wma_naive import solve_wma_naive
+
+__all__ = [
+    "solve_exact",
+    "lp_lower_bound",
+    "ExactSolution",
+    "solve_hilbert",
+    "solve_brnn",
+    "solve_wma_naive",
+    "solve_random",
+    "solve_kmedian_ls",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment definitions, runners, and reporting.
+
+* :mod:`repro.bench.harness` -- run a set of solvers on an instance (with
+  per-solver time budgets and validation) and collect comparable rows.
+* :mod:`repro.bench.reporting` -- aligned text tables and series output
+  mirroring the paper's figures.
+* :mod:`repro.bench.experiments` -- the scaled-down instance factories
+  for every table and figure of Section VII (see DESIGN.md for the
+  experiment index).
+"""
+
+from repro.bench.harness import BenchRow, run_solvers, solver_row
+from repro.bench.parallel import parallel_rows
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    mean_rows,
+    sparkline,
+)
+from repro.bench.sweeps import aggregate, seeded_sweep
+
+__all__ = [
+    "BenchRow",
+    "run_solvers",
+    "solver_row",
+    "format_table",
+    "format_series",
+    "mean_rows",
+    "sparkline",
+    "seeded_sweep",
+    "aggregate",
+    "parallel_rows",
+]

@@ -1,0 +1,168 @@
+"""Run solver line-ups on instances and collect comparable result rows.
+
+The paper's figures plot, per algorithm, the objective value and runtime
+against a swept parameter.  :func:`run_solvers` produces one
+:class:`BenchRow` per algorithm per instance, handling the two failure
+modes the paper reports: the exact solver timing out ("Gurobi failed")
+and infeasibility.  Every successful solution is validated against the
+instance before its row is trusted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro import SOLVERS
+from repro.errors import ReproError, SolverError
+from repro.core.instance import MCFSInstance
+from repro.core.validation import validate_solution
+
+DEFAULT_METHODS = ("wma", "hilbert", "wma-naive", "exact")
+
+
+@dataclass
+class BenchRow:
+    """One algorithm's outcome on one instance."""
+
+    label: str
+    method: str
+    objective: float | None
+    runtime_sec: float | None
+    status: str = "ok"
+    params: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """Whether the solver produced no usable solution."""
+        return self.status != "ok"
+
+    def cells(self) -> dict[str, Any]:
+        """Flat dict for table formatting."""
+        out: dict[str, Any] = {"instance": self.label, "method": self.method}
+        out.update(self.params)
+        out["objective"] = (
+            round(self.objective, 1) if self.objective is not None else "fail"
+        )
+        out["runtime_s"] = (
+            round(self.runtime_sec, 3) if self.runtime_sec is not None else "fail"
+        )
+        out["status"] = self.status
+        return out
+
+
+def solver_row(
+    instance: MCFSInstance,
+    method: str,
+    *,
+    label: str | None = None,
+    params: dict[str, Any] | None = None,
+    validate: bool = True,
+    **solver_kwargs,
+) -> BenchRow:
+    """Run one solver on one instance, never raising on solver failure.
+
+    Exact-solver time-outs become ``status="timeout"`` rows (the paper's
+    "Gurobi failed" entries); other library errors become
+    ``status="error"`` rows carrying the message.
+    """
+    label = label or instance.name
+    params = dict(params or {})
+    started = time.perf_counter()
+    try:
+        solution = SOLVERS[method](instance, **solver_kwargs)
+    except SolverError as exc:
+        return BenchRow(
+            label=label,
+            method=method,
+            objective=None,
+            runtime_sec=time.perf_counter() - started,
+            status="timeout",
+            params=params,
+            meta={"error": str(exc)},
+        )
+    except ReproError as exc:
+        return BenchRow(
+            label=label,
+            method=method,
+            objective=None,
+            runtime_sec=time.perf_counter() - started,
+            status="error",
+            params=params,
+            meta={"error": str(exc)},
+        )
+    if validate:
+        validate_solution(instance, solution)
+    return BenchRow(
+        label=label,
+        method=method,
+        objective=solution.objective,
+        runtime_sec=solution.runtime_sec,
+        status="ok",
+        params=params,
+        meta=dict(solution.meta),
+    )
+
+
+def run_solvers(
+    instance: MCFSInstance,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    *,
+    label: str | None = None,
+    params: dict[str, Any] | None = None,
+    exact_time_limit: float | None = 60.0,
+    validate: bool = True,
+    seeds: dict[str, int] | None = None,
+) -> list[BenchRow]:
+    """Run several solvers on an instance and return their rows.
+
+    Parameters
+    ----------
+    instance:
+        The instance all solvers share.
+    methods:
+        Solver names (keys of :data:`repro.SOLVERS`).
+    exact_time_limit:
+        Time budget passed to the ``exact`` method; a blown budget yields
+        a ``timeout`` row rather than an exception.
+    seeds:
+        Optional per-method ``seed`` keyword (randomized baselines).
+    """
+    rows: list[BenchRow] = []
+    for method in methods:
+        kwargs: dict[str, Any] = {}
+        if method == "exact" and exact_time_limit is not None:
+            kwargs["time_limit"] = exact_time_limit
+        if seeds and method in seeds:
+            kwargs["seed"] = seeds[method]
+        rows.append(
+            solver_row(
+                instance,
+                method,
+                label=label,
+                params=params,
+                validate=validate,
+                **kwargs,
+            )
+        )
+    return rows
+
+
+def best_objective(rows: Iterable[BenchRow]) -> float | None:
+    """Smallest successful objective among the rows (None if all failed)."""
+    values = [r.objective for r in rows if r.objective is not None]
+    return min(values) if values else None
+
+
+def objective_ratios(rows: Sequence[BenchRow]) -> dict[str, float]:
+    """Each method's objective relative to the best in the group."""
+    base = best_objective(rows)
+    if base is None or base <= 0:
+        return {}
+    return {
+        r.method: r.objective / base
+        for r in rows
+        if r.objective is not None
+    }

@@ -1,0 +1,82 @@
+"""Process-parallel execution of solver sweeps.
+
+Pure-Python solvers are CPU-bound and single-threaded; sweeps over many
+(instance, method) pairs parallelize embarrassingly across processes.
+:func:`parallel_rows` fans a list of work items over a process pool and
+returns the same :class:`~repro.bench.harness.BenchRow` objects the
+sequential harness produces.
+
+Instances are shipped to workers via the library's own npz serialization
+(instances hold numpy arrays and a Network; the explicit round-trip is
+both the pickle-safety guarantee and a serialization test in production).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from repro.bench.harness import BenchRow, solver_row
+from repro.core.instance import MCFSInstance
+from repro.io.serialization import load_instance, save_instance
+
+WorkItem = tuple[str, str, dict[str, Any]]  # (instance_path, method, params)
+
+
+def _run_item(item: WorkItem) -> BenchRow:
+    """Worker entry point: load the instance and run one solver."""
+    path, method, params = item
+    instance = load_instance(path)
+    kwargs = params.pop("__solver_kwargs__", {})
+    return solver_row(instance, method, params=params, **kwargs)
+
+
+def parallel_rows(
+    cases: Sequence[tuple[dict[str, Any], MCFSInstance]],
+    methods: Sequence[str],
+    *,
+    max_workers: int | None = None,
+    exact_time_limit: float | None = 60.0,
+    work_dir: str | None = None,
+) -> list[BenchRow]:
+    """Run every (case, method) pair across a process pool.
+
+    Parameters
+    ----------
+    cases:
+        The usual ``(params, instance)`` case list.
+    methods:
+        Solver names to run on each case.
+    max_workers:
+        Pool size (default: ``os.cpu_count()``).
+    exact_time_limit:
+        Budget forwarded to the ``exact`` method.
+    work_dir:
+        Directory for the instance spool files (a temporary directory by
+        default, removed afterwards).
+    """
+    own_tmp = None
+    if work_dir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+        work_dir = own_tmp.name
+    try:
+        items: list[WorkItem] = []
+        for idx, (params, instance) in enumerate(cases):
+            path = os.path.join(work_dir, f"instance-{idx}.npz")
+            save_instance(instance, path)
+            for method in methods:
+                tagged = dict(params)
+                if method == "exact" and exact_time_limit is not None:
+                    tagged["__solver_kwargs__"] = {
+                        "time_limit": exact_time_limit
+                    }
+                items.append((path, method, tagged))
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            rows = list(pool.map(_run_item, items))
+        return rows
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()

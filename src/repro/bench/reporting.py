@@ -1,0 +1,207 @@
+"""Text rendering of benchmark results.
+
+The benchmarks print, for every reproduced table and figure, the same
+rows/series the paper reports: objective and runtime per algorithm per
+parameter value.  Output is plain aligned text so it reads well both in
+pytest logs and when redirected to the EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Sequence
+
+from repro.bench.harness import BenchRow
+
+
+def format_table(
+    rows: Iterable[BenchRow | dict[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Accepts :class:`BenchRow` objects (rendered via ``cells()``) or plain
+    dicts.  Column order follows the first row unless ``columns`` is
+    given; missing cells render blank.
+    """
+    dict_rows = [
+        row.cells() if isinstance(row, BenchRow) else dict(row) for row in rows
+    ]
+    if not dict_rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(dict_rows[0].keys())
+        for row in dict_rows[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def text(value: Any) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = {
+        col: max(len(col), *(len(text(row.get(col))) for row in dict_rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in dict_rows:
+        lines.append(
+            "  ".join(text(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    rows: Iterable[BenchRow],
+    *,
+    x_key: str,
+    value: str = "objective",
+    title: str | None = None,
+) -> str:
+    """Render rows as one line per method: the paper's figure series.
+
+    ``x_key`` names the swept parameter inside each row's ``params``;
+    ``value`` is ``"objective"`` or ``"runtime_sec"``.
+    """
+    series: dict[str, list[tuple[Any, Any]]] = defaultdict(list)
+    x_values: list[Any] = []
+    for row in rows:
+        x = row.params.get(x_key)
+        if x not in x_values:
+            x_values.append(x)
+        val = getattr(row, value)
+        series[row.method].append((x, val))
+
+    def text(value: Any) -> str:
+        if value is None:
+            return "fail"
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = []
+    if title:
+        lines.append(title)
+    head_cells = [x_key.ljust(12)] + [text(x).rjust(10) for x in x_values]
+    lines.append("  ".join(head_cells))
+    lines.append("-" * len(lines[-1]))
+    for method, points in series.items():
+        by_x = {x: v for x, v in points}
+        cells = [method.ljust(12)] + [
+            text(by_x.get(x)).rjust(10) for x in x_values
+        ]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def mean_rows(
+    rows: Iterable[BenchRow],
+    *,
+    x_key: str,
+    over_key: str = "seed",
+) -> list[BenchRow]:
+    """Average repeated-seed rows into one row per (method, x) pair.
+
+    Rows failing (``objective is None``) are dropped from the mean; a
+    (method, x) group where every seed failed yields a failed row.  Used
+    by sweeps whose per-instance variance is large at benchmark scale.
+    """
+    groups: dict[tuple[str, Any], list[BenchRow]] = defaultdict(list)
+    order: list[tuple[str, Any]] = []
+    for row in rows:
+        key = (row.method, row.params.get(x_key))
+        if key not in groups:
+            order.append(key)
+        groups[key].append(row)
+
+    out: list[BenchRow] = []
+    for method, x in order:
+        members = groups[(method, x)]
+        objectives = [r.objective for r in members if r.objective is not None]
+        runtimes = [r.runtime_sec for r in members if r.runtime_sec is not None]
+        out.append(
+            BenchRow(
+                label=members[0].label,
+                method=method,
+                objective=(
+                    sum(objectives) / len(objectives) if objectives else None
+                ),
+                runtime_sec=(
+                    sum(runtimes) / len(runtimes) if runtimes else None
+                ),
+                status="ok" if objectives else "error",
+                params={x_key: x, "seeds": len(members)},
+            )
+        )
+    return out
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Scales to the series' own min/max (a flat series renders as a line of
+    mid blocks).  Handy for printing WMA traces inline: e.g.
+    ``sparkline(trace.covered)`` shows the coverage ramp at a glance.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi - lo <= 0:
+        return _SPARK_LEVELS[3] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def paper_shape_summary(rows: Sequence[BenchRow]) -> dict[str, Any]:
+    """Aggregate win/loss shape checks used by EXPERIMENTS.md.
+
+    Returns per-method mean objective ratio versus the group best and
+    mean runtime, over all parameter points where the method succeeded.
+    """
+    by_x: dict[Any, list[BenchRow]] = defaultdict(list)
+    for row in rows:
+        by_x[tuple(sorted(row.params.items()))].append(row)
+
+    ratios: dict[str, list[float]] = defaultdict(list)
+    runtimes: dict[str, list[float]] = defaultdict(list)
+    for group in by_x.values():
+        objectives = [r.objective for r in group if r.objective is not None]
+        if not objectives:
+            continue
+        base = min(objectives)
+        for r in group:
+            if r.objective is not None and base > 0:
+                ratios[r.method].append(r.objective / base)
+            if r.runtime_sec is not None:
+                runtimes[r.method].append(r.runtime_sec)
+
+    return {
+        method: {
+            "mean_ratio_to_best": round(
+                sum(vals) / len(vals), 3
+            ),
+            "mean_runtime_sec": round(
+                sum(runtimes[method]) / max(len(runtimes[method]), 1), 3
+            ),
+            "points": len(vals),
+        }
+        for method, vals in ratios.items()
+    }

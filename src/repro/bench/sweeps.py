@@ -1,0 +1,95 @@
+"""Multi-seed sweep runner with mean/std aggregation.
+
+The single-seed series of the figure benchmarks are fast but noisy at
+reproduction scale (see EXPERIMENTS.md).  :func:`seeded_sweep` runs an
+instance factory across several seeds per parameter point, collects all
+rows, and produces per-point mean and standard deviation per method --
+the data behind error-bar versions of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Callable, Sequence
+
+from repro.bench.harness import BenchRow, run_solvers
+from repro.core.instance import MCFSInstance
+
+
+def seeded_sweep(
+    factory: Callable[[int], list[tuple[dict[str, Any], MCFSInstance]]],
+    *,
+    seeds: Sequence[int],
+    methods: Sequence[str],
+    x_key: str,
+    exact_time_limit: float | None = None,
+) -> list[BenchRow]:
+    """Run ``factory(seed)`` for each seed and solve every case.
+
+    ``factory`` must return the usual ``(params, instance)`` case list;
+    the seed is recorded into each row's params so downstream aggregation
+    can group correctly.
+    """
+    rows: list[BenchRow] = []
+    for seed in seeds:
+        for params, instance in factory(seed):
+            tagged = dict(params)
+            tagged["seed"] = seed
+            rows += run_solvers(
+                instance,
+                methods,
+                params=tagged,
+                exact_time_limit=exact_time_limit,
+            )
+    return rows
+
+
+def aggregate(
+    rows: Sequence[BenchRow],
+    *,
+    x_key: str,
+) -> list[dict[str, Any]]:
+    """Mean and standard deviation per (method, x) over seeds.
+
+    Failed rows are counted separately (``failures``) and excluded from
+    the statistics.
+    """
+    groups: dict[tuple[str, Any], list[BenchRow]] = defaultdict(list)
+    order: list[tuple[str, Any]] = []
+    for row in rows:
+        key = (row.method, row.params.get(x_key))
+        if key not in groups:
+            order.append(key)
+        groups[key].append(row)
+
+    def stats(values: list[float]) -> tuple[float | None, float | None]:
+        if not values:
+            return None, None
+        mean = sum(values) / len(values)
+        if len(values) < 2:
+            return mean, 0.0
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        return mean, math.sqrt(var)
+
+    out: list[dict[str, Any]] = []
+    for method, x in order:
+        members = groups[(method, x)]
+        objectives = [r.objective for r in members if r.objective is not None]
+        runtimes = [
+            r.runtime_sec for r in members if r.runtime_sec is not None
+        ]
+        obj_mean, obj_std = stats(objectives)
+        rt_mean, _ = stats(runtimes)
+        out.append(
+            {
+                "method": method,
+                x_key: x,
+                "objective_mean": round(obj_mean, 2) if obj_mean is not None else None,
+                "objective_std": round(obj_std, 2) if obj_std is not None else None,
+                "runtime_mean_s": round(rt_mean, 4) if rt_mean is not None else None,
+                "runs": len(members),
+                "failures": sum(1 for r in members if r.failed),
+            }
+        )
+    return out

@@ -1,0 +1,283 @@
+"""Command-line interface for the MCFS reproduction library.
+
+Subcommands::
+
+    python -m repro generate --kind uniform --n 512 -o instance.npz
+    python -m repro solve instance.npz --method wma -o solution.json
+    python -m repro stats instance.npz
+    python -m repro compare instance.npz --methods wma,hilbert,exact
+    python -m repro bench --experiment fig6a
+
+``generate`` builds a synthetic instance file, ``solve`` runs one solver
+and writes the solution, ``stats`` prints network/instance statistics,
+``compare`` prints a side-by-side solver table, and ``bench`` regenerates
+a paper experiment by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import SOLVERS, solve, validate_solution
+from repro.analysis import compare_solutions
+from repro.bench.reporting import format_series, format_table
+from repro.io.serialization import (
+    load_instance,
+    save_instance,
+    save_solution,
+)
+
+# (load_solution is imported lazily inside the handlers that need it.)
+
+EXPERIMENTS = (
+    "fig6a", "fig6b", "fig6c", "fig6d",
+    "fig7a", "fig7b", "fig7c", "fig7d",
+    "fig8a", "fig8b", "fig8c", "fig8d",
+    "fig9a", "fig9b", "fig10", "fig12a", "fig13a", "fig13b",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multicapacity Facility Selection in Networks (ICDE 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic instance")
+    gen.add_argument("--kind", choices=("uniform", "clustered"), default="uniform")
+    gen.add_argument("--n", type=int, default=512, help="network size in nodes")
+    gen.add_argument("--alpha", type=float, default=2.0, help="density parameter")
+    gen.add_argument("--clusters", type=int, default=20)
+    gen.add_argument("--customer-frac", type=float, default=0.1)
+    gen.add_argument("--capacity", type=int, default=20)
+    gen.add_argument("--k-frac", type=float, default=0.1, help="k as fraction of m")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True, help="instance .npz path")
+
+    slv = sub.add_parser("solve", help="solve an instance file")
+    slv.add_argument("instance", help="instance .npz path")
+    slv.add_argument(
+        "--method", choices=sorted(SOLVERS), default="wma"
+    )
+    slv.add_argument("--seed", type=int, default=None)
+    slv.add_argument(
+        "--time-limit", type=float, default=None,
+        help="seconds (exact method only)",
+    )
+    slv.add_argument("-o", "--output", default=None, help="solution .json path")
+
+    sta = sub.add_parser("stats", help="print instance statistics")
+    sta.add_argument("instance", help="instance .npz path")
+
+    cmp_ = sub.add_parser("compare", help="run several solvers side by side")
+    cmp_.add_argument("instance", help="instance .npz path")
+    cmp_.add_argument(
+        "--methods", default="wma,hilbert,wma-naive",
+        help="comma-separated solver names",
+    )
+
+    ben = sub.add_parser("bench", help="regenerate a paper experiment")
+    ben.add_argument("--experiment", choices=EXPERIMENTS, required=True)
+    ben.add_argument(
+        "--methods", default="wma,hilbert,wma-naive",
+        help="comma-separated solver names",
+    )
+
+    ref = sub.add_parser(
+        "refine", help="local-search refine a saved solution"
+    )
+    ref.add_argument("instance", help="instance .npz path")
+    ref.add_argument("solution", help="solution .json path")
+    ref.add_argument("--rounds", type=int, default=5)
+    ref.add_argument("-o", "--output", default=None, help="refined .json path")
+
+    exp = sub.add_parser(
+        "export", help="export a scenario (and solution) as GeoJSON layers"
+    )
+    exp.add_argument("instance", help="instance .npz path")
+    exp.add_argument("--solution", default=None, help="solution .json path")
+    exp.add_argument("-o", "--output", required=True, help="output JSON path")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datagen.instances import clustered_instance, uniform_instance
+
+    if args.kind == "uniform":
+        instance = uniform_instance(
+            args.n,
+            alpha=args.alpha,
+            customer_frac=args.customer_frac,
+            capacity=args.capacity,
+            k_frac_of_m=args.k_frac,
+            seed=args.seed,
+        )
+    else:
+        instance = clustered_instance(
+            args.n,
+            n_clusters=args.clusters,
+            alpha=args.alpha,
+            customer_frac=args.customer_frac,
+            capacity=args.capacity,
+            k_frac_of_m=args.k_frac,
+            seed=args.seed,
+        )
+    save_instance(instance, args.output)
+    print(f"wrote {args.output}: {instance.describe()}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    kwargs = {}
+    if args.seed is not None and args.method in ("wma-naive", "random", "wma-ls"):
+        kwargs["seed"] = args.seed
+    if args.time_limit is not None and args.method == "exact":
+        kwargs["time_limit"] = args.time_limit
+    solution = solve(instance, method=args.method, **kwargs)
+    validate_solution(instance, solution)
+    print(format_table([solution.summary_row()], title=instance.name))
+    if args.output:
+        save_solution(solution, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    print(format_table([instance.describe()], title="instance"))
+    print()
+    print(format_table([instance.network.stats().as_row()], title="network"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    unknown = [m for m in methods if m not in SOLVERS]
+    if unknown:
+        print(f"unknown methods: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    solutions = []
+    for method in methods:
+        solution = solve(instance, method=method)
+        validate_solution(instance, solution)
+        solutions.append(solution)
+    print(
+        format_table(
+            compare_solutions(instance, solutions),
+            title=f"{instance.name} (m={instance.m}, l={instance.l}, k={instance.k})",
+        )
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import experiments as ex
+    from repro.bench.harness import run_solvers
+
+    factories = {
+        "fig6a": (ex.fig6a_cases, "n"),
+        "fig6b": (ex.fig6b_cases, "n"),
+        "fig6c": (ex.fig6c_cases, "n"),
+        "fig6d": (ex.fig6d_cases, "n"),
+        "fig7a": (ex.fig7a_cases, "n"),
+        "fig7b": (ex.fig7b_cases, "n"),
+        "fig7c": (ex.fig7c_cases, "n"),
+        "fig7d": (ex.fig7d_cases, "n"),
+        "fig8a": (ex.fig8a_cases, "l_frac"),
+        "fig8b": (ex.fig8b_cases, "m"),
+        "fig8c": (ex.fig8c_cases, "m"),
+        "fig8d": (ex.fig8d_cases, "k"),
+        "fig9a": (ex.fig9a_cases, "avg_degree"),
+        "fig9b": (ex.fig9b_cases, "c"),
+        "fig10": (ex.fig10_cases, "m"),
+        "fig12a": (ex.fig12a_cases, "k"),
+        "fig13a": (ex.fig13a_cases, "k"),
+        "fig13b": (ex.fig13b_cases, "k"),
+    }
+    factory, x_key = factories[args.experiment]
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    rows = []
+    for params, instance in factory():
+        case_methods = list(methods)
+        if "exact" in case_methods and not ex.include_exact(instance):
+            case_methods.remove("exact")
+        rows += run_solvers(instance, case_methods, params=params)
+    print(format_series(rows, x_key=x_key, value="objective",
+                        title=f"{args.experiment} -- objective"))
+    print()
+    print(format_series(rows, x_key=x_key, value="runtime_sec",
+                        title=f"{args.experiment} -- runtime [s]"))
+    return 0
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    from repro.core.local_search import refine_solution
+    from repro.io.serialization import load_solution
+
+    instance = load_instance(args.instance)
+    solution = load_solution(args.solution)
+    validate_solution(instance, solution)
+    refined, report = refine_solution(
+        instance, solution, max_rounds=args.rounds
+    )
+    validate_solution(instance, refined)
+    print(
+        format_table(
+            [
+                {
+                    "stage": "input",
+                    "objective": round(solution.objective, 2),
+                },
+                {
+                    "stage": "refined",
+                    "objective": round(refined.objective, 2),
+                    "moves": report.moves_accepted,
+                    "improvement": f"{report.improvement:.2%}",
+                },
+            ],
+            title=instance.name,
+        )
+    )
+    if args.output:
+        save_solution(refined, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io.geojson import export_scenario
+    from repro.io.serialization import load_solution
+
+    instance = load_instance(args.instance)
+    solution = None
+    if args.solution:
+        solution = load_solution(args.solution)
+        validate_solution(instance, solution)
+    export_scenario(instance, solution, args.output)
+    layers = "network, instance" + (", solution" if solution else "")
+    print(f"wrote {args.output} ({layers})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "solve": _cmd_solve,
+        "stats": _cmd_stats,
+        "compare": _cmd_compare,
+        "bench": _cmd_bench,
+        "refine": _cmd_refine,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

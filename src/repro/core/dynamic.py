@@ -1,0 +1,273 @@
+"""Dynamic customer reallocation on a fixed facility selection.
+
+The paper's introduction motivates MCFS with applications that "may need
+to be solved scalably and repeatedly, as in applications requiring the
+dynamic reallocation of customers to facilities".  This module provides
+that operational layer: once facilities have been selected (by WMA or any
+other solver), a :class:`DynamicAllocator` maintains an *optimal*
+customer-to-facility assignment under customer arrivals and departures.
+
+* An **arrival** runs one SSPA augmentation (``find_pair``) on the
+  persistent bipartite state, possibly rewiring existing customers.  By
+  the matcher's invariants (Section V), the running assignment stays
+  cost-optimal for the active customer set -- arrivals are incremental
+  and cheap.
+* A **departure** frees one unit of flow.  The remaining flow is feasible
+  but not necessarily optimal, and the matcher's dual invariants do not
+  survive flow *removal*; the allocator therefore rebuilds the optimal
+  assignment with a fresh SSPA pass over the active customers.  The
+  expensive network Dijkstras are shared through the persistent
+  :class:`~repro.network.incremental.StreamPool`, so the rebuild is far
+  cheaper than solving cold.  ``auto_reoptimize=False`` defers this
+  (feasible-but-possibly-suboptimal) until :meth:`reoptimize` is called.
+
+Customer *handles* returned by :meth:`add_customer` stay valid across
+rebuilds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InvalidInstanceError, MatchingError
+from repro.core.instance import MCFSInstance
+from repro.flow.bipartite import BipartiteState
+from repro.flow.sspa import find_pair
+
+
+@dataclass
+class AllocationEvent:
+    """Audit record of one arrival, departure, or re-optimization."""
+
+    kind: str  # "arrival" | "departure" | "reoptimize"
+    customer_node: int
+    cost_before: float
+    cost_after: float
+    reassigned: int  # customers whose facility changed
+
+
+class DynamicAllocator:
+    """Maintain a capacity-feasible, optimal assignment under churn.
+
+    Parameters
+    ----------
+    instance:
+        Provides the network and the facility metadata; its customer list
+        seeds the initial population.
+    selected:
+        Facility indices (into ``instance.facility_nodes``) to serve
+        from; the selection stays fixed.
+    auto_reoptimize:
+        Re-optimize after every departure (default).  With ``False`` the
+        assignment remains feasible but may drift from optimal until
+        :meth:`reoptimize` is invoked.
+    """
+
+    def __init__(
+        self,
+        instance: MCFSInstance,
+        selected: Sequence[int],
+        *,
+        auto_reoptimize: bool = True,
+    ) -> None:
+        self._instance = instance
+        self._selected = [int(j) for j in selected]
+        if not self._selected:
+            raise InvalidInstanceError("selection must contain facilities")
+        self._sub_nodes = [instance.facility_nodes[j] for j in self._selected]
+        self._sub_caps = [instance.capacities[j] for j in self._selected]
+        self._auto_reoptimize = bool(auto_reoptimize)
+
+        self._state = BipartiteState(
+            instance.network, [], self._sub_nodes, self._sub_caps
+        )
+        # handle -> node (None once departed); handle -> state row index.
+        self._node_of_handle: list[int | None] = []
+        self._row_of_handle: dict[int, int] = {}
+        self._handle_of_row: dict[int, int] = {}
+        self.events: list[AllocationEvent] = []
+        for node in instance.customers:
+            self.add_customer(int(node))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        """Number of currently served customers."""
+        return len(self._row_of_handle)
+
+    @property
+    def cost(self) -> float:
+        """Total distance of the current assignment."""
+        return self._state.total_cost()
+
+    def facility_of(self, handle: int) -> int:
+        """Facility index currently serving the given customer handle."""
+        row = self._row_of_handle.get(handle)
+        if row is None:
+            raise InvalidInstanceError(f"no active customer {handle}")
+        (j_sub,) = self._state.matched[row]
+        return self._selected[j_sub]
+
+    def assignment(self) -> dict[int, int]:
+        """Active handle -> facility index (into the instance)."""
+        return {h: self.facility_of(h) for h in self._row_of_handle}
+
+    def load_per_facility(self) -> dict[int, int]:
+        """Facility index -> number of served customers."""
+        return {
+            self._selected[j_sub]: self._state.load(j_sub)
+            for j_sub in range(len(self._selected))
+        }
+
+    def residual_capacity(self) -> int:
+        """Total unused capacity across the selection."""
+        return sum(
+            self._state.capacities[j] - self._state.load(j)
+            for j in range(self._state.l)
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_customer(self, node: int) -> int:
+        """Serve a newly arrived customer at ``node``; returns a handle.
+
+        Raises :class:`MatchingError` (leaving the allocator unchanged)
+        when no reachable facility has residual capacity -- the signal to
+        re-run facility selection.
+        """
+        state = self._state
+        cost_before = state.total_cost()
+        snapshot = self._facility_snapshot()
+
+        row = self._append_row(state, int(node))
+        try:
+            find_pair(state, row)
+        except MatchingError:
+            self._pop_row(state)
+            raise
+
+        handle = len(self._node_of_handle)
+        self._node_of_handle.append(int(node))
+        self._row_of_handle[handle] = row
+        self._handle_of_row[row] = handle
+
+        self.events.append(
+            AllocationEvent(
+                kind="arrival",
+                customer_node=int(node),
+                cost_before=cost_before,
+                cost_after=state.total_cost(),
+                reassigned=self._count_moves(snapshot),
+            )
+        )
+        return handle
+
+    def remove_customer(self, handle: int) -> None:
+        """Stop serving the customer identified by ``handle``."""
+        row = self._row_of_handle.get(handle)
+        if row is None:
+            raise InvalidInstanceError(f"no active customer {handle}")
+        state = self._state
+        cost_before = state.total_cost()
+        node = self._node_of_handle[handle]
+        assert node is not None
+
+        (j_sub,) = state.matched[row]
+        state.unmatch(row, j_sub)
+        del self._row_of_handle[handle]
+        del self._handle_of_row[row]
+        self._node_of_handle[handle] = None
+
+        reassigned = 0
+        if self._auto_reoptimize:
+            reassigned = self.reoptimize()
+
+        self.events.append(
+            AllocationEvent(
+                kind="departure",
+                customer_node=int(node),
+                cost_before=cost_before,
+                cost_after=self._state.total_cost(),
+                reassigned=reassigned,
+            )
+        )
+
+    def reoptimize(self) -> int:
+        """Rebuild the optimal assignment for the active customers.
+
+        Returns the number of customers whose facility changed.  Shares
+        the stream pool with the previous state, so network shortest-path
+        work is reused.
+        """
+        snapshot = self._facility_snapshot()
+        handles = sorted(self._row_of_handle)
+        nodes = [self._node_of_handle[h] for h in handles]
+
+        fresh = BipartiteState(
+            self._instance.network,
+            [int(n) for n in nodes],  # type: ignore[arg-type]
+            self._sub_nodes,
+            self._sub_caps,
+            pool=self._state.pool,
+        )
+        for row in range(fresh.m):
+            find_pair(fresh, row)
+
+        self._state = fresh
+        self._row_of_handle = {h: row for row, h in enumerate(handles)}
+        self._handle_of_row = {row: h for row, h in enumerate(handles)}
+        return self._count_moves(snapshot)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _append_row(state: BipartiteState, node: int) -> int:
+        """Grow the bipartite state's customer side by one stub row."""
+        row = state.m
+        state.customer_nodes.append(node)
+        state.edges.append({})
+        state.matched.append(set())
+        state.customer_potential.append(0.0)
+        state._cursors.append(None)
+        state.m += 1
+        return row
+
+    @staticmethod
+    def _pop_row(state: BipartiteState) -> None:
+        """Undo :meth:`_append_row` for an unmatched trailing stub."""
+        assert not state.matched[-1]
+        state.customer_nodes.pop()
+        state.edges.pop()
+        state.matched.pop()
+        state.customer_potential.pop()
+        state._cursors.pop()
+        state.m -= 1
+
+    def _facility_snapshot(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for handle, row in self._row_of_handle.items():
+            if self._state.matched[row]:
+                (j_sub,) = self._state.matched[row]
+                out[handle] = self._selected[j_sub]
+        return out
+
+    def _count_moves(self, before: dict[int, int]) -> int:
+        moves = 0
+        for handle, j_old in before.items():
+            row = self._row_of_handle.get(handle)
+            if row is not None and self._state.matched[row]:
+                (j_sub,) = self._state.matched[row]
+                if self._selected[j_sub] != j_old:
+                    moves += 1
+        return moves
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicAllocator(active={self.n_active}, "
+            f"facilities={len(self._selected)}, cost={self.cost:.1f})"
+        )

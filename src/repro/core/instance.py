@@ -1,0 +1,173 @@
+"""The MCFS problem instance data model.
+
+An instance bundles the network, the customers, the candidate facilities
+with their capacities, and the budget ``k`` -- the inputs of objective (1)
+subject to constraints (2)-(3) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.network.components import ComponentStructure
+from repro.network.graph import Network
+
+
+@dataclass(frozen=True)
+class MCFSInstance:
+    """A Multicapacity Facility Selection problem instance.
+
+    Attributes
+    ----------
+    network:
+        The weighted road network ``G``.
+    customers:
+        Node id per customer (length ``m``).  Duplicates are allowed --
+        the paper's Figure 8c explicitly places multiple customers per
+        node.
+    facility_nodes:
+        Node id per candidate facility (length ``l``).  Distinct, because
+        MCFS is the *hard* capacitated k-median: at most one facility per
+        location.
+    capacities:
+        Positive integer capacity ``c_j`` per candidate facility.
+    k:
+        Number of facilities to select.
+    name:
+        Optional label used in reports.
+    """
+
+    network: Network
+    customers: tuple[int, ...]
+    facility_nodes: tuple[int, ...]
+    capacities: tuple[int, ...]
+    k: int
+    name: str = "mcfs"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "customers", tuple(int(c) for c in self.customers))
+        object.__setattr__(
+            self, "facility_nodes", tuple(int(f) for f in self.facility_nodes)
+        )
+        object.__setattr__(
+            self, "capacities", tuple(int(c) for c in self.capacities)
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        n = self.network.n_nodes
+        if not self.customers:
+            raise InvalidInstanceError("instance has no customers")
+        if not self.facility_nodes:
+            raise InvalidInstanceError("instance has no candidate facilities")
+        if len(self.facility_nodes) != len(self.capacities):
+            raise InvalidInstanceError(
+                f"{len(self.facility_nodes)} facility nodes but "
+                f"{len(self.capacities)} capacities"
+            )
+        if len(set(self.facility_nodes)) != len(self.facility_nodes):
+            raise InvalidInstanceError(
+                "candidate facility nodes must be distinct (hard capacities: "
+                "one facility per location)"
+            )
+        for node in self.customers:
+            if not (0 <= node < n):
+                raise InvalidInstanceError(f"customer node {node} outside graph")
+        for node in self.facility_nodes:
+            if not (0 <= node < n):
+                raise InvalidInstanceError(f"facility node {node} outside graph")
+        for cap in self.capacities:
+            if cap <= 0:
+                raise InvalidInstanceError(f"capacity must be positive, got {cap}")
+        if not (1 <= self.k <= len(self.facility_nodes)):
+            raise InvalidInstanceError(
+                f"k={self.k} must be in 1..l={len(self.facility_nodes)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of customers."""
+        return len(self.customers)
+
+    @property
+    def l(self) -> int:
+        """Number of candidate facilities (the paper's script-l)."""
+        return len(self.facility_nodes)
+
+    @property
+    def mean_capacity(self) -> float:
+        """Average candidate capacity, used by the Uniform-First variant."""
+        return float(np.mean(self.capacities))
+
+    @property
+    def occupancy(self) -> float:
+        """The paper's occupancy ``o = m / (c-bar * k)``.
+
+        Values close to 1 mean capacities are tight; the instance can only
+        be feasible when ``o <= 1`` holds for the capacities actually
+        selected.
+        """
+        return self.m / (self.mean_capacity * self.k)
+
+    def facility_index_of_node(self) -> dict[int, int]:
+        """Map facility node id -> facility index."""
+        return {node: j for j, node in enumerate(self.facility_nodes)}
+
+    def component_structure(self) -> ComponentStructure:
+        """Customers and candidates grouped by network component."""
+        return ComponentStructure.build(
+            self.network, self.customers, self.facility_nodes
+        )
+
+    def restrict_to(self, facility_indices: Sequence[int]) -> "MCFSInstance":
+        """A sub-instance whose candidate set is the given facilities.
+
+        This is the instance solved by the final recursive call of
+        Algorithm 1 (Lines 14-15): ``F_p`` shrinks to the selected set and
+        ``k`` stays, so the solver reduces to an optimal assignment.
+        """
+        indices = list(facility_indices)
+        return MCFSInstance(
+            network=self.network,
+            customers=self.customers,
+            facility_nodes=tuple(self.facility_nodes[j] for j in indices),
+            capacities=tuple(self.capacities[j] for j in indices),
+            k=min(self.k, len(indices)),
+            name=f"{self.name}|restricted",
+        )
+
+    def with_uniform_capacities(self, capacity: int | None = None) -> "MCFSInstance":
+        """Copy of the instance with every capacity set to ``capacity``.
+
+        Defaults to the rounded-up mean capacity, as in the Uniform-First
+        heuristic of Section VII-F.
+        """
+        if capacity is None:
+            capacity = max(1, int(round(self.mean_capacity)))
+        return MCFSInstance(
+            network=self.network,
+            customers=self.customers,
+            facility_nodes=self.facility_nodes,
+            capacities=(int(capacity),) * self.l,
+            k=self.k,
+            name=f"{self.name}|uniform-cap",
+        )
+
+    def describe(self) -> dict[str, float]:
+        """Flat summary for reports."""
+        return {
+            "name": self.name,
+            "n": self.network.n_nodes,
+            "E": self.network.n_edges,
+            "m": self.m,
+            "l": self.l,
+            "k": self.k,
+            "occupancy": round(self.occupancy, 3),
+        }

@@ -1,0 +1,76 @@
+"""Solution data model for MCFS solvers.
+
+Every solver in this library -- WMA, the baselines, and the exact MILP --
+returns an :class:`MCFSSolution`: the selected facility indices, the
+customer-to-facility assignment, the objective value, and a metadata dict
+with runtime and algorithm-specific counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class MCFSSolution:
+    """A (claimed) feasible MCFS solution.
+
+    Attributes
+    ----------
+    selected:
+        Facility indices (positions into ``instance.facility_nodes``) of
+        the opened facilities, ``|selected| <= k``.
+    assignment:
+        For each customer ``i``, the facility index it is served by.  Every
+        entry must be a member of ``selected``.
+    objective:
+        Sum of network distances between customers and their assigned
+        facilities (the paper's objective (1)).
+    meta:
+        Free-form diagnostics: ``algorithm``, ``runtime_sec``,
+        ``iterations``, solver-specific counters.  Purely informational.
+    """
+
+    selected: tuple[int, ...]
+    assignment: tuple[int, ...]
+    objective: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.selected = tuple(int(j) for j in self.selected)
+        self.assignment = tuple(int(j) for j in self.assignment)
+        self.objective = float(self.objective)
+
+    @property
+    def algorithm(self) -> str:
+        """Name of the producing algorithm (from ``meta``)."""
+        return str(self.meta.get("algorithm", "unknown"))
+
+    @property
+    def runtime_sec(self) -> float:
+        """Wall-clock runtime in seconds (from ``meta``; 0 if unrecorded)."""
+        return float(self.meta.get("runtime_sec", 0.0))
+
+    def load_per_facility(self) -> dict[int, int]:
+        """Number of customers served by each selected facility."""
+        loads = {j: 0 for j in self.selected}
+        for j in self.assignment:
+            loads[j] = loads.get(j, 0) + 1
+        return loads
+
+    def summary_row(self) -> dict[str, Any]:
+        """Flat summary for benchmark tables."""
+        return {
+            "algorithm": self.algorithm,
+            "objective": round(self.objective, 2),
+            "runtime_sec": round(self.runtime_sec, 4),
+            "facilities_used": len(set(self.assignment)),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MCFSSolution(algorithm={self.algorithm!r}, "
+            f"objective={self.objective:.2f}, "
+            f"selected={len(self.selected)} facilities)"
+        )

@@ -1,0 +1,188 @@
+"""Assignment under road throughput constraints (extension).
+
+The paper's model routes every customer along shortest paths and notes
+that its networks have "no throughput constraints on edges" (Section
+VII-D3).  Real road and utility networks do have them: only so many
+customers can be funneled through one street segment.  This module adds
+the missing variant for a *fixed* facility selection:
+
+    minimize total routed distance such that every customer reaches one
+    selected facility, facility loads respect capacities, and no road
+    edge carries more than ``throughput`` customers.
+
+This is a single min-cost flow on the road network itself (not the
+bipartite abstraction): customers inject one unit each, selected
+facilities drain into a super-sink bounded by their capacities, and every
+road edge becomes a pair of arcs with the throughput as capacity and the
+road length as cost.  Solved exactly by :class:`repro.flow.mcf.FlowNetwork`.
+
+With infinite throughput the optimum equals the classic assignment
+(``assign_all``), which the tests verify; with tight throughput the cost
+rises and eventually the problem becomes infeasible -- the congestion
+regime the paper's model ignores.
+
+Note: flow solutions give each *unit* a route, but units are
+interchangeable; customer-to-facility attribution follows a flow
+decomposition and is therefore not unique.  The reported objective and
+per-facility loads are.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InvalidInstanceError
+from repro.core.instance import MCFSInstance
+from repro.flow.mcf import FlowError, FlowNetwork
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of :func:`assign_with_throughput`.
+
+    Attributes
+    ----------
+    cost:
+        Total routed distance (equals the assignment objective when
+        throughput is not binding).
+    facility_loads:
+        Customers absorbed per facility index.
+    edge_flows:
+        Net absolute flow per input road edge (units traversing it).
+    max_edge_utilization:
+        Highest ``flow / throughput`` over road edges (1.0 = saturated).
+    """
+
+    cost: float
+    facility_loads: dict[int, int]
+    edge_flows: list[float]
+    max_edge_utilization: float
+
+
+def assign_with_throughput(
+    instance: MCFSInstance,
+    selected: Sequence[int],
+    throughput: float,
+) -> ThroughputResult:
+    """Min-cost routing of all customers under a uniform edge throughput.
+
+    Parameters
+    ----------
+    instance:
+        The MCFS instance (network, customers, capacities).
+    selected:
+        Facility indices to serve from.
+    throughput:
+        Maximum number of customers any single road edge may carry (per
+        direction); use ``float('inf')`` for the classic unconstrained
+        assignment.
+
+    Raises
+    ------
+    FlowError
+        When the throughput (or capacities/connectivity) make serving all
+        customers impossible.
+    InvalidInstanceError
+        For an empty selection.
+    """
+    selected = [int(j) for j in selected]
+    if not selected:
+        raise InvalidInstanceError("selection must contain facilities")
+    if throughput <= 0:
+        raise FlowError(f"throughput must be positive, got {throughput}")
+
+    network = instance.network
+    n = network.n_nodes
+    sink = n  # super-sink node
+    flow_net = FlowNetwork(n + 1)
+
+    # Customer supplies (multiple customers per node aggregate).
+    per_node: dict[int, int] = defaultdict(int)
+    for node in instance.customers:
+        per_node[node] += 1
+    for node, count in per_node.items():
+        flow_net.set_supply(node, count)
+    flow_net.set_supply(sink, -instance.m)
+
+    # Road edges: one arc per direction, throughput-capped.  Infinite
+    # throughput becomes a finite bound of m (no edge ever needs more).
+    cap = float(min(throughput, instance.m))
+    edge_arc_ids: list[tuple[int, int]] = []
+    for u, v, w in network.edges():
+        a1 = flow_net.add_arc(u, v, cap, w)
+        if network.directed:
+            edge_arc_ids.append((a1, -1))
+        else:
+            a2 = flow_net.add_arc(v, u, cap, w)
+            edge_arc_ids.append((a1, a2))
+
+    # Facility drains.
+    drain_arc_of_facility: dict[int, int] = {}
+    for j in selected:
+        node = instance.facility_nodes[j]
+        drain_arc_of_facility[j] = flow_net.add_arc(
+            node, sink, float(instance.capacities[j]), 0.0
+        )
+
+    result = flow_net.solve()
+
+    loads = {
+        j: int(round(result.flows[arc_id]))
+        for j, arc_id in drain_arc_of_facility.items()
+    }
+    edge_flows: list[float] = []
+    max_util = 0.0
+    for a1, a2 in edge_arc_ids:
+        total = result.flows[a1] + (result.flows[a2] if a2 >= 0 else 0.0)
+        edge_flows.append(total)
+        if cap > 0:
+            max_util = max(max_util, max(result.flows[a1],
+                                         result.flows[a2] if a2 >= 0 else 0.0) / cap)
+    return ThroughputResult(
+        cost=result.cost,
+        facility_loads=loads,
+        edge_flows=edge_flows,
+        max_edge_utilization=max_util,
+    )
+
+
+def congestion_profile(
+    instance: MCFSInstance,
+    selected: Sequence[int],
+    throughputs: Sequence[float],
+) -> list[dict[str, float]]:
+    """Routed cost as edge throughput tightens.
+
+    One row per throughput value: cost, max edge utilization, and the
+    relative cost increase versus the unconstrained optimum; infeasible
+    points report ``cost=None``.
+    """
+    base = assign_with_throughput(instance, selected, float("inf"))
+    rows: list[dict[str, float]] = []
+    for throughput in throughputs:
+        try:
+            res = assign_with_throughput(instance, selected, throughput)
+            rows.append(
+                {
+                    "throughput": throughput,
+                    "cost": round(res.cost, 2),
+                    "vs_unconstrained": round(res.cost / base.cost, 4)
+                    if base.cost > 0
+                    else 1.0,
+                    "max_edge_utilization": round(
+                        res.max_edge_utilization, 3
+                    ),
+                }
+            )
+        except FlowError:
+            rows.append(
+                {
+                    "throughput": throughput,
+                    "cost": None,
+                    "vs_unconstrained": None,
+                    "max_edge_utilization": None,
+                }
+            )
+    return rows

@@ -1,0 +1,167 @@
+"""Feasibility audits and objective evaluation.
+
+These routines are the ground truth the test suite and benchmarks rely
+on: they recompute everything from the instance and the raw network,
+independently of any solver's internal bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InfeasibleInstanceError, InvalidInstanceError
+from repro.core.instance import MCFSInstance
+from repro.core.solution import MCFSSolution
+from repro.network.dijkstra import shortest_path_lengths
+
+
+def evaluate_objective(
+    instance: MCFSInstance, assignment: Sequence[int]
+) -> float:
+    """Recompute objective (1): the summed customer-facility distances.
+
+    Distances are measured customer-to-facility (the direction the
+    matcher optimizes).  On undirected networks one early-exit Dijkstra
+    per *used facility* suffices (usually far fewer than customers); on
+    directed networks the search runs per distinct customer node, since
+    the two directions differ.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If the assignment has the wrong length or references an invalid
+        facility index.
+    InfeasibleInstanceError
+        If some customer cannot reach its assigned facility.
+    """
+    if len(assignment) != instance.m:
+        raise InvalidInstanceError(
+            f"assignment length {len(assignment)} != m={instance.m}"
+        )
+    by_facility: dict[int, list[int]] = defaultdict(list)
+    for i, j in enumerate(assignment):
+        j = int(j)
+        if not (0 <= j < instance.l):
+            raise InvalidInstanceError(f"assignment[{i}]={j} is not a facility index")
+        by_facility[j].append(i)
+
+    total = 0.0
+    if instance.network.directed:
+        by_customer_node: dict[int, list[int]] = defaultdict(list)
+        for i, j in enumerate(assignment):
+            by_customer_node[instance.customers[i]].append(i)
+        for node, members in by_customer_node.items():
+            targets = {instance.facility_nodes[int(assignment[i])] for i in members}
+            result = shortest_path_lengths(instance.network, node, targets=targets)
+            for i in members:
+                f_node = instance.facility_nodes[int(assignment[i])]
+                d = result.dist[f_node]
+                if not np.isfinite(d):
+                    raise InfeasibleInstanceError(
+                        f"customer {i} (node {node}) cannot reach facility "
+                        f"node {f_node}"
+                    )
+                total += float(d)
+        return total
+
+    for j, members in by_facility.items():
+        f_node = instance.facility_nodes[j]
+        targets = {instance.customers[i] for i in members}
+        result = shortest_path_lengths(instance.network, f_node, targets=targets)
+        for i in members:
+            d = result.dist[instance.customers[i]]
+            if not np.isfinite(d):
+                raise InfeasibleInstanceError(
+                    f"customer {i} (node {instance.customers[i]}) cannot reach "
+                    f"facility {j} (node {f_node})"
+                )
+            total += float(d)
+    return total
+
+
+def validate_solution(
+    instance: MCFSInstance,
+    solution: MCFSSolution,
+    *,
+    objective_rtol: float = 1e-6,
+) -> None:
+    """Audit a solution against constraints (2)-(3) of the paper.
+
+    Checks, raising :class:`InvalidInstanceError` on the first violation:
+
+    * at most ``k`` facilities selected, all valid and distinct;
+    * every customer assigned to exactly one *selected* facility;
+    * no facility serves more customers than its capacity;
+    * the reported objective matches an independent recomputation.
+    """
+    selected = set(solution.selected)
+    if len(solution.selected) != len(selected):
+        raise InvalidInstanceError("selected facilities contain duplicates")
+    if len(selected) > instance.k:
+        raise InvalidInstanceError(
+            f"{len(selected)} facilities selected but k={instance.k}"
+        )
+    for j in selected:
+        if not (0 <= j < instance.l):
+            raise InvalidInstanceError(f"selected facility index {j} out of range")
+
+    if len(solution.assignment) != instance.m:
+        raise InvalidInstanceError(
+            f"assignment length {len(solution.assignment)} != m={instance.m}"
+        )
+    loads: dict[int, int] = defaultdict(int)
+    for i, j in enumerate(solution.assignment):
+        if j not in selected:
+            raise InvalidInstanceError(
+                f"customer {i} assigned to unselected facility {j}"
+            )
+        loads[j] += 1
+    for j, load in loads.items():
+        if load > instance.capacities[j]:
+            raise InvalidInstanceError(
+                f"facility {j} serves {load} customers but has capacity "
+                f"{instance.capacities[j]}"
+            )
+
+    recomputed = evaluate_objective(instance, solution.assignment)
+    tolerance = objective_rtol * max(1.0, abs(recomputed))
+    if abs(recomputed - solution.objective) > tolerance:
+        raise InvalidInstanceError(
+            f"reported objective {solution.objective} differs from recomputed "
+            f"{recomputed}"
+        )
+
+
+def check_feasibility(instance: MCFSInstance) -> None:
+    """Raise :class:`InfeasibleInstanceError` if no feasible solution exists.
+
+    Per Theorem 3 of the paper, an instance is feasible iff the budget
+    ``k`` can be split across connected components so that each component
+    ``g`` receives at least ``k_g`` facilities, where ``k_g`` is the
+    minimum number of highest-capacity candidates in ``g`` whose combined
+    capacity covers the component's customers.
+    """
+    structure = instance.component_structure()
+    needed = structure.minimum_budget(instance.capacities)
+    if needed > instance.k:
+        if needed > instance.l:
+            raise InfeasibleInstanceError(
+                "some network component hosts more customers than the total "
+                "capacity of its candidate facilities"
+            )
+        raise InfeasibleInstanceError(
+            f"budget k={instance.k} is below the per-component minimum "
+            f"{needed}"
+        )
+
+
+def is_feasible(instance: MCFSInstance) -> bool:
+    """Boolean form of :func:`check_feasibility`."""
+    try:
+        check_feasibility(instance)
+    except InfeasibleInstanceError:
+        return False
+    return True

@@ -1,0 +1,93 @@
+"""Data generators reproducing the paper's synthetic and real-data setups.
+
+* :mod:`repro.datagen.synthetic` -- uniform and clustered random
+  geometric networks on a 1000x1000 square (Section VII-B).
+* :mod:`repro.datagen.urban` -- parametric grid / organic city networks
+  standing in for the OpenStreetMap road networks of Table III.
+* :mod:`repro.datagen.customers` -- customer placement models.
+* :mod:`repro.datagen.capacities` -- capacity models, including the
+  operational-hours proxy of Section VII-F.
+* :mod:`repro.datagen.checkins` -- occupancy-driven customer synthesis
+  via network Voronoi cells (the Yelp pipeline of Section VII-F.1).
+* :mod:`repro.datagen.bikeflow` -- flow-divergence bike-demand synthesis
+  (Section VII-F.2).
+* :mod:`repro.datagen.instances` -- one-call builders assembling full
+  :class:`~repro.core.instance.MCFSInstance` objects for each paper
+  experiment configuration.
+"""
+
+from repro.datagen.capacities import (
+    operational_hours_capacities,
+    uniform_capacities,
+    uniform_random_capacities,
+)
+from repro.datagen.customers import (
+    clustered_customers,
+    district_population_customers,
+    uniform_customers,
+    weighted_customers,
+)
+from repro.datagen.synthetic import (
+    clustered_network,
+    clustered_points,
+    connection_radius,
+    geometric_network,
+    uniform_network,
+    uniform_points,
+)
+from repro.datagen.urban import (
+    city_catalog,
+    grid_city,
+    organic_city,
+    radial_city,
+)
+from repro.datagen.checkins import (
+    synth_occupancies,
+    occupancy_customer_distribution,
+)
+from repro.datagen.bikeflow import (
+    bike_demand_distribution,
+    simulate_hourly_flows,
+)
+from repro.datagen.instances import (
+    clustered_instance,
+    uniform_instance,
+    city_instance,
+)
+from repro.datagen.workloads import (
+    WorkloadEvent,
+    diurnal_rate,
+    generate_workload,
+    replay,
+)
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "connection_radius",
+    "geometric_network",
+    "uniform_network",
+    "clustered_network",
+    "grid_city",
+    "radial_city",
+    "organic_city",
+    "city_catalog",
+    "uniform_customers",
+    "clustered_customers",
+    "weighted_customers",
+    "district_population_customers",
+    "uniform_capacities",
+    "uniform_random_capacities",
+    "operational_hours_capacities",
+    "synth_occupancies",
+    "occupancy_customer_distribution",
+    "simulate_hourly_flows",
+    "bike_demand_distribution",
+    "uniform_instance",
+    "clustered_instance",
+    "city_instance",
+    "WorkloadEvent",
+    "diurnal_rate",
+    "generate_workload",
+    "replay",
+]

@@ -1,0 +1,55 @@
+"""Capacity models for candidate facilities.
+
+Three models cover the paper's settings:
+
+* uniform capacities ``c`` (Sections VII-C/E);
+* uniform-random integer capacities in a range, e.g. 1..10 as in
+  Figure 6d;
+* operational-hours capacities for the coworking use case of Section
+  VII-F ("their daily operational hours define their nonuniform
+  capacities"; the paper reports an average of 9 hours in both cities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_capacities(l: int, capacity: int) -> list[int]:
+    """All-equal capacities."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    return [int(capacity)] * l
+
+
+def uniform_random_capacities(
+    l: int, low: int, high: int, rng: np.random.Generator
+) -> list[int]:
+    """Integer capacities drawn uniformly from ``low..high`` inclusive.
+
+    Figure 6d uses "a uniformly random capacity in the range 1 to 10".
+    """
+    if not (1 <= low <= high):
+        raise ValueError(f"need 1 <= low <= high, got {low}..{high}")
+    return [int(c) for c in rng.integers(low, high + 1, size=l)]
+
+
+def operational_hours_capacities(
+    l: int,
+    rng: np.random.Generator,
+    *,
+    mean_hours: float = 9.0,
+    min_hours: int = 1,
+    max_hours: int = 24,
+    scale_per_hour: int = 1,
+) -> list[int]:
+    """Capacities derived from synthetic venue operational hours.
+
+    Hours are drawn from a clipped normal around ``mean_hours`` (spread
+    3h), mimicking cafe/restaurant opening-hour data; capacity is
+    ``hours * scale_per_hour`` customers (the paper assumes "uniform
+    utilization during these working hours").
+    """
+    hours = rng.normal(mean_hours, 3.0, size=l)
+    hours = np.clip(np.round(hours), min_hours, max_hours).astype(int)
+    return [int(h) * int(scale_per_hour) for h in hours]

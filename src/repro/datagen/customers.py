@@ -1,0 +1,110 @@
+"""Customer placement models.
+
+The paper places customers uniformly at random on synthetic networks
+(Section VII-C), proportionally to district populations in Copenhagen
+(Section VII-F.1b), and according to derived demand distributions in the
+check-in and bike use cases (see :mod:`repro.datagen.checkins` and
+:mod:`repro.datagen.bikeflow`).  This module provides the common
+samplers; the derived-distribution pipelines feed their weights into
+:func:`weighted_customers`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.graph import Network
+
+
+def uniform_customers(
+    network: Network,
+    m: int,
+    rng: np.random.Generator,
+    *,
+    distinct: bool = True,
+) -> list[int]:
+    """``m`` customers on nodes chosen uniformly at random.
+
+    ``distinct=True`` (the paper's default setup) picks distinct nodes;
+    ``distinct=False`` allows multiple customers per node, as in the
+    Figure 8c scale-up experiment.
+    """
+    n = network.n_nodes
+    if distinct and m > n:
+        raise ValueError(f"cannot place {m} distinct customers on {n} nodes")
+    chosen = rng.choice(n, size=m, replace=not distinct)
+    return [int(v) for v in chosen]
+
+
+def weighted_customers(
+    network: Network,
+    m: int,
+    weights: np.ndarray,
+    rng: np.random.Generator,
+) -> list[int]:
+    """``m`` customers sampled per a node-weight distribution.
+
+    Weights are clipped at zero and normalized; nodes may receive several
+    customers.  Raises when all weights vanish.
+    """
+    w = np.clip(np.asarray(weights, dtype=np.float64), 0.0, None)
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("all customer weights are zero")
+    probs = w / total
+    chosen = rng.choice(network.n_nodes, size=m, replace=True, p=probs)
+    return [int(v) for v in chosen]
+
+
+def clustered_customers(
+    network: Network,
+    m: int,
+    n_hotspots: int,
+    rng: np.random.Generator,
+    *,
+    concentration: float = 0.15,
+) -> list[int]:
+    """Customers concentrated around random hotspot nodes.
+
+    Each node's weight decays as a Gaussian of its Euclidean distance to
+    the nearest hotspot with scale ``concentration * extent``.  Requires
+    coordinates.
+    """
+    coords = network.coords
+    hotspots = coords[rng.choice(network.n_nodes, size=n_hotspots, replace=False)]
+    extent = float(coords.max(axis=0).max() - coords.min(axis=0).min()) or 1.0
+    scale = concentration * extent
+    d2 = np.min(
+        ((coords[:, None, :] - hotspots[None, :, :]) ** 2).sum(axis=2), axis=1
+    )
+    weights = np.exp(-d2 / (2.0 * scale * scale))
+    return weighted_customers(network, m, weights, rng)
+
+
+def district_population_customers(
+    network: Network,
+    m: int,
+    rng: np.random.Generator,
+    *,
+    districts: int = 10,
+    skew: float = 1.0,
+) -> list[int]:
+    """Customers proportional to synthetic district populations.
+
+    Mirrors the Copenhagen setup of Section VII-F.1b ("a customer
+    distribution proportional to that of district populations"): the
+    bounding box is cut into a ``districts x districts`` raster, each
+    district draws a population weight from a Zipf-like distribution
+    with exponent ``skew``, and customers are sampled accordingly.
+    """
+    coords = network.coords
+    lo = coords.min(axis=0)
+    span = coords.max(axis=0) - lo
+    span[span == 0.0] = 1.0
+    cell = np.floor((coords - lo) / span * (districts - 1e-9)).astype(int)
+    district_id = cell[:, 0] * districts + cell[:, 1]
+
+    ranks = rng.permutation(districts * districts) + 1
+    district_weight = 1.0 / np.power(ranks.astype(float), skew)
+    node_weights = district_weight[district_id]
+    return weighted_customers(network, m, node_weights, rng)

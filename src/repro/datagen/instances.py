@@ -1,0 +1,287 @@
+"""One-call builders for the paper's experiment instances.
+
+Each builder assembles network + customers + candidates + capacities +
+budget into a validated :class:`~repro.core.instance.MCFSInstance`,
+following the parameterizations of Section VII:
+
+* customers at a fraction of the nodes, ``k = 0.1 m`` by default;
+* candidate facilities at every node (``F_p = V``) or a random subset;
+* uniform capacity chosen from an occupancy target, or nonuniform models.
+
+Feasibility on disconnected random graphs
+-----------------------------------------
+A sparse random geometric graph has many components; a budget ``k`` that
+looks generous globally can be infeasible because each customer-bearing
+component needs its own facility (Theorem 3).  The paper's algorithms
+assume a feasible input.  The builders therefore raise the budget to the
+instance's per-component minimum when needed (``adjust_k=True``, the
+default) and record the adjustment in the instance name, so benchmark
+rows stay comparable and honest.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.instance import MCFSInstance
+from repro.datagen.capacities import (
+    uniform_capacities,
+    uniform_random_capacities,
+)
+from repro.datagen.customers import uniform_customers
+from repro.datagen.synthetic import clustered_network, uniform_network
+from repro.network.graph import Network
+
+
+def _pick_facilities(
+    network: Network, l: int | None, rng: np.random.Generator
+) -> list[int]:
+    """Candidate facility nodes: all nodes, or a random distinct subset."""
+    n = network.n_nodes
+    if l is None or l >= n:
+        return list(range(n))
+    return sorted(int(v) for v in rng.choice(n, size=l, replace=False))
+
+
+def _augment_candidates(
+    network: Network,
+    customers: list[int],
+    facilities: list[int],
+    min_capacity: int,
+) -> tuple[list[int], bool]:
+    """Ensure every customer-bearing component hosts enough candidates.
+
+    A random candidate subset can leave a small component with customers
+    but no (or too little) candidate capacity, making *every* algorithm
+    infeasible.  This repair adds the fewest extra candidate nodes needed,
+    preferring customer nodes (a facility can always be opened at a
+    customer location in the paper's setting ``F_p <= V``).  Returns the
+    possibly-extended candidate list and whether a repair happened.
+    """
+    from repro.network.components import component_labels
+
+    labels = component_labels(network)
+    fac_set = set(facilities)
+    needed: dict[int, int] = {}
+    for node in customers:
+        needed[int(labels[node])] = needed.get(int(labels[node]), 0) + 1
+    present: dict[int, int] = {}
+    for node in facilities:
+        present[int(labels[node])] = present.get(int(labels[node]), 0) + 1
+
+    repaired = False
+    for comp, customer_count in needed.items():
+        have = present.get(comp, 0)
+        want = -(-customer_count // max(min_capacity, 1))  # ceil division
+        if have >= want:
+            continue
+        pool = [v for v in customers if int(labels[v]) == comp] + [
+            int(v) for v in np.flatnonzero(labels == comp)
+        ]
+        for node in pool:
+            if have >= want:
+                break
+            if node not in fac_set:
+                fac_set.add(node)
+                have += 1
+                repaired = True
+    return sorted(fac_set), repaired
+
+
+def _finalize(
+    network: Network,
+    customers: list[int],
+    facility_nodes: list[int],
+    capacities: list[int],
+    k: int,
+    name: str,
+    adjust_k: bool,
+) -> MCFSInstance:
+    """Build the instance, raising ``k`` to the feasibility floor if asked."""
+    instance = MCFSInstance(
+        network=network,
+        customers=tuple(customers),
+        facility_nodes=tuple(facility_nodes),
+        capacities=tuple(capacities),
+        k=min(max(k, 1), len(facility_nodes)),
+        name=name,
+    )
+    if not adjust_k:
+        return instance
+    needed = instance.component_structure().minimum_budget(instance.capacities)
+    if needed > instance.k and needed <= instance.l:
+        instance = MCFSInstance(
+            network=network,
+            customers=tuple(customers),
+            facility_nodes=tuple(facility_nodes),
+            capacities=tuple(capacities),
+            k=needed,
+            name=f"{name}|k-adjusted",
+        )
+    return instance
+
+
+def uniform_instance(
+    n: int,
+    *,
+    alpha: float = 2.0,
+    customer_frac: float = 0.1,
+    facility_frac: float = 1.0,
+    capacity: int | tuple[int, int] = 20,
+    k_frac_of_m: float = 0.1,
+    seed: int = 0,
+    adjust_k: bool = True,
+) -> MCFSInstance:
+    """A Figure-6-style instance on a uniform random geometric network.
+
+    Parameters
+    ----------
+    n:
+        Network size in nodes.
+    alpha:
+        Density parameter (Section VII-B calibration: measured average
+        degree ~ alpha on uniform data).
+    customer_frac:
+        Fraction of nodes hosting a customer (paper: 10 % in Fig. 6a).
+    facility_frac:
+        Fraction of nodes that are candidates (paper: ``F_p = V``).
+    capacity:
+        Uniform capacity, or an inclusive ``(low, high)`` range for the
+        nonuniform Figure 6d setting.
+    k_frac_of_m:
+        Budget as a fraction of the customer count (paper: ``k = 0.1 m``).
+    """
+    rng = np.random.default_rng(seed)
+    network = uniform_network(n, alpha, seed=seed)
+    m = max(1, int(round(customer_frac * n)))
+    customers = uniform_customers(network, m, rng, distinct=m <= n)
+    l = None if facility_frac >= 1.0 else max(1, int(round(facility_frac * n)))
+    facilities = _pick_facilities(network, l, rng)
+    min_cap = capacity[0] if isinstance(capacity, tuple) else capacity
+    facilities, repaired = _augment_candidates(
+        network, customers, facilities, min_cap
+    )
+    if isinstance(capacity, tuple):
+        caps = uniform_random_capacities(
+            len(facilities), capacity[0], capacity[1], rng
+        )
+        cap_label = f"c{capacity[0]}-{capacity[1]}"
+    else:
+        caps = uniform_capacities(len(facilities), capacity)
+        cap_label = f"c{capacity}"
+    k = max(1, int(round(k_frac_of_m * m)))
+    name = f"uniform-n{n}-a{alpha}-{cap_label}"
+    if repaired:
+        name += "|candidates-augmented"
+    return _finalize(network, customers, facilities, caps, k, name, adjust_k)
+
+
+def clustered_instance(
+    n: int,
+    *,
+    n_clusters: int = 20,
+    alpha: float = 1.5,
+    customer_frac: float = 0.1,
+    facility_frac: float = 1.0,
+    capacity: int | tuple[int, int] = 10,
+    k_frac_of_m: float = 0.1,
+    m: int | None = None,
+    k: int | None = None,
+    seed: int = 0,
+    adjust_k: bool = True,
+) -> MCFSInstance:
+    """A Figure-7/8/9-style instance on a clustered geometric network.
+
+    ``m`` and ``k`` may be given explicitly (the Figure 8 sweeps);
+    otherwise they derive from ``customer_frac`` and ``k_frac_of_m``.
+    When ``m`` exceeds the node count, multiple customers share nodes
+    (the Figure 8c setting).
+    """
+    rng = np.random.default_rng(seed)
+    network = clustered_network(n, n_clusters, alpha, seed=seed)
+    n_total = network.n_nodes
+    if m is None:
+        m = max(1, int(round(customer_frac * n_total)))
+    customers = uniform_customers(network, m, rng, distinct=m <= n_total)
+    l = (
+        None
+        if facility_frac >= 1.0
+        else max(1, int(round(facility_frac * n_total)))
+    )
+    facilities = _pick_facilities(network, l, rng)
+    min_cap = capacity[0] if isinstance(capacity, tuple) else capacity
+    facilities, repaired = _augment_candidates(
+        network, customers, facilities, min_cap
+    )
+    if isinstance(capacity, tuple):
+        caps = uniform_random_capacities(
+            len(facilities), capacity[0], capacity[1], rng
+        )
+        cap_label = f"c{capacity[0]}-{capacity[1]}"
+    else:
+        caps = uniform_capacities(len(facilities), capacity)
+        cap_label = f"c{capacity}"
+    if k is None:
+        k = max(1, int(round(k_frac_of_m * m)))
+    name = f"clustered-n{n}-g{n_clusters}-a{alpha}-{cap_label}"
+    if repaired:
+        name += "|candidates-augmented"
+    return _finalize(network, customers, facilities, caps, k, name, adjust_k)
+
+
+def city_instance(
+    network: Network,
+    *,
+    m: int,
+    k: int,
+    capacity: int | list[int] = 20,
+    l: int | None = None,
+    seed: int = 0,
+    customer_nodes: list[int] | None = None,
+    facility_nodes: list[int] | None = None,
+    adjust_k: bool = True,
+    name: str = "city",
+) -> MCFSInstance:
+    """A Table-IV / Section-VII-F style instance on an urban network.
+
+    Parameters
+    ----------
+    network:
+        An urban proxy network (see :mod:`repro.datagen.urban`).
+    m, k:
+        Customer count and budget (Table IV: m=512, k=51 at full scale).
+    capacity:
+        Uniform capacity or an explicit per-candidate list.
+    l:
+        Candidate count (``None`` = every node, the Table IV setting);
+        ignored when ``facility_nodes`` is given.
+    customer_nodes:
+        Explicit customer placement (used by the check-in and bike-flow
+        pipelines); random uniform placement otherwise.
+    facility_nodes:
+        Explicit candidate placement (e.g. sampled venue locations);
+        a random distinct subset of size ``l`` otherwise.
+    """
+    rng = np.random.default_rng(seed)
+    if customer_nodes is None:
+        customer_nodes = uniform_customers(
+            network, m, rng, distinct=m <= network.n_nodes
+        )
+    if facility_nodes is not None:
+        facilities = [int(f) for f in facility_nodes]
+    else:
+        facilities = _pick_facilities(network, l, rng)
+    if isinstance(capacity, list):
+        if len(capacity) != len(facilities):
+            raise ValueError(
+                f"capacity list has {len(capacity)} entries for "
+                f"{len(facilities)} candidates"
+            )
+        caps = [int(c) for c in capacity]
+    else:
+        caps = uniform_capacities(len(facilities), capacity)
+    return _finalize(
+        network, list(customer_nodes), facilities, caps, k, name, adjust_k
+    )

@@ -1,0 +1,259 @@
+"""Parametric urban road-network generators.
+
+The paper evaluates on four OpenStreetMap road networks (Table III:
+Aalborg, Riga, Copenhagen, Las Vegas) whose raw data is not available in
+this offline reproduction.  These generators produce networks with the
+same *structural signature*:
+
+* average degree around 2.2-2.4 and short edges (tens of meters), as in
+  Table III;
+* a regular grid topology for the Las-Vegas-like city ("Las Vegas has a
+  regular grid-like road network structure, rendering clustering
+  approaches more effective", Section VII-E);
+* irregular organic topology for the European-like cities.
+
+All coordinates are in meters, so objectives from these networks are
+directly comparable in spirit to the paper's meter-denominated tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.network.graph import Network
+
+_MIN_WEIGHT = 1e-6
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    *,
+    spacing: float = 100.0,
+    jitter: float = 0.08,
+    drop_rate: float = 0.12,
+    seed: int = 0,
+) -> Network:
+    """A perturbed Manhattan grid -- the Las-Vegas-like proxy.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; the network has ``rows * cols`` nodes.
+    spacing:
+        Block edge length in meters (Table III reports ~50 m average
+        edges for Las Vegas at full scale; our scaled-down proxies use
+        a coarser default).
+    jitter:
+        Positional noise as a fraction of ``spacing``.
+    drop_rate:
+        Fraction of grid edges removed at random, emulating irregular
+        blocks; the default keeps the average degree near Table III's
+        2.4 (a perfect grid has ~3.9 directed-degree/2 boundary effects
+        aside, so real cities drop many segments).
+    """
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+    coords = np.empty((n, 2))
+    for r in range(rows):
+        for c in range(cols):
+            coords[r * cols + c] = (
+                c * spacing + rng.normal(0.0, jitter * spacing),
+                r * spacing + rng.normal(0.0, jitter * spacing),
+            )
+
+    edges: list[tuple[int, int, float]] = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                edges.append((u, u + 1, 0.0))
+            if r + 1 < rows:
+                edges.append((u, u + cols, 0.0))
+    keep = rng.random(len(edges)) >= drop_rate
+    kept = [
+        (u, v, max(float(np.hypot(*(coords[u] - coords[v]))), _MIN_WEIGHT))
+        for (u, v, _), flag in zip(edges, keep)
+        if flag
+    ]
+    return Network(n, kept, coords=coords)
+
+
+def radial_city(
+    rings: int,
+    spokes: int,
+    *,
+    ring_spacing: float = 250.0,
+    jitter: float = 0.15,
+    drop_rate: float = 0.08,
+    hub_degree: int = 6,
+    seed: int = 0,
+) -> Network:
+    """Concentric rings plus radial spokes -- a Copenhagen-like core.
+
+    Node 0 is the center; ring ``r`` (1-based) holds ``spokes`` nodes at
+    radius ``r * ring_spacing``.  Edges run along rings and along spokes,
+    with jitter and random drops for irregularity.  The center connects
+    to at most ``hub_degree`` evenly spaced spokes -- real intersections
+    have bounded degree, and an all-spokes hub would dominate any
+    flow-divergence statistic.
+    """
+    rng = np.random.default_rng(seed)
+    coords = [(0.0, 0.0)]
+    for r in range(1, rings + 1):
+        radius = r * ring_spacing
+        for s in range(spokes):
+            angle = 2 * math.pi * s / spokes + rng.normal(0.0, jitter / max(r, 1))
+            rr = radius * (1.0 + rng.normal(0.0, jitter / 2))
+            coords.append((rr * math.cos(angle), rr * math.sin(angle)))
+    coords_arr = np.array(coords)
+
+    def node(r: int, s: int) -> int:
+        return 1 + (r - 1) * spokes + (s % spokes)
+
+    edges: list[tuple[int, int]] = []
+    hub_step = max(1, spokes // max(1, hub_degree))
+    for s in range(spokes):
+        if s % hub_step == 0:
+            edges.append((0, node(1, s)))
+        for r in range(1, rings):
+            edges.append((node(r, s), node(r + 1, s)))
+    for r in range(1, rings + 1):
+        for s in range(spokes):
+            edges.append((node(r, s), node(r, s + 1)))
+
+    keep = rng.random(len(edges)) >= drop_rate
+    kept = [
+        (
+            u,
+            v,
+            max(float(np.hypot(*(coords_arr[u] - coords_arr[v]))), _MIN_WEIGHT),
+        )
+        for (u, v), flag in zip(edges, keep)
+        if flag
+    ]
+    return Network(len(coords), kept, coords=coords_arr)
+
+
+def organic_city(
+    n: int,
+    *,
+    side: float = 5000.0,
+    neighbor_links: int = 2,
+    connect: bool = True,
+    seed: int = 0,
+) -> Network:
+    """Irregular organically-grown street pattern (Aalborg/Riga-like).
+
+    Random node positions, each connected to its ``neighbor_links``
+    nearest neighbors -- a standard low-degree proximity model whose
+    average degree lands near Table III's 2.2 with the default setting.
+    With ``connect=True`` (default) the components of the proximity graph
+    are then stitched together through their mutually nearest node pairs,
+    since real road networks are connected.
+    """
+    rng = np.random.default_rng(seed)
+    coords = rng.random((n, 2)) * side
+
+    from repro.geometry.grid_index import GridIndex
+
+    cell = side / max(1.0, math.sqrt(n))
+    index = GridIndex(coords, cell_size=max(cell, 1e-6))
+    edges: set[tuple[int, int]] = set()
+    for u in range(n):
+        # Expand the radius until enough neighbors are found.
+        radius = cell
+        hits: list[int] = []
+        while len(hits) <= neighbor_links and radius < 8 * side:
+            hits = [
+                v
+                for v in index.within_radius(coords[u, 0], coords[u, 1], radius)
+                if v != u
+            ]
+            radius *= 2.0
+        hits.sort(key=lambda v: float(np.hypot(*(coords[v] - coords[u]))))
+        for v in hits[:neighbor_links]:
+            edges.add((min(u, v), max(u, v)))
+
+    if connect:
+        edges |= _stitch_components(coords, edges)
+
+    weighted = [
+        (u, v, max(float(np.hypot(*(coords[u] - coords[v]))), _MIN_WEIGHT))
+        for u, v in sorted(edges)
+    ]
+    return Network(n, weighted, coords=coords)
+
+
+def _stitch_components(
+    coords: np.ndarray, edges: set[tuple[int, int]]
+) -> set[tuple[int, int]]:
+    """Edges joining each component to its nearest neighbor component.
+
+    Repeatedly merges the component whose closest outside node is nearest
+    (a Boruvka-style pass over component representatives), producing the
+    short inter-district connector streets real cities have.
+    """
+    n = len(coords)
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent[find(u)] = find(v)
+
+    extra: set[tuple[int, int]] = set()
+    while True:
+        roots = {find(u) for u in range(n)}
+        if len(roots) <= 1:
+            break
+        members: dict[int, list[int]] = {}
+        for u in range(n):
+            members.setdefault(find(u), []).append(u)
+        # Join the two globally closest components.
+        comps = list(members.values())
+        base = comps[0]
+        best: tuple[float, int, int] | None = None
+        for other in comps[1:]:
+            diff = coords[np.array(base)][:, None, :] - coords[np.array(other)][None, :, :]
+            d2 = (diff**2).sum(axis=2)
+            pos = np.unravel_index(np.argmin(d2), d2.shape)
+            cand = (float(d2[pos]), base[pos[0]], other[pos[1]])
+            if best is None or cand < best:
+                best = cand
+        assert best is not None
+        _, u, v = best
+        extra.add((min(u, v), max(u, v)))
+        parent[find(u)] = find(v)
+    return extra
+
+
+def city_catalog(scale: float = 1.0, seed: int = 0) -> dict[str, Network]:
+    """The four Table-III city proxies at a tunable size scale.
+
+    ``scale = 1.0`` yields networks of roughly 1-4 thousand nodes (the
+    paper's cities have 50k-425k; pure-Python benchmarks run scaled
+    down).  Relative sizes mirror Table III: the Aalborg proxy is the
+    smallest, the Las Vegas proxy the largest and grid-shaped.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    aalborg_n = max(64, int(900 * scale))
+    riga_n = max(96, int(2200 * scale))
+    side = 4000.0 * math.sqrt(scale)
+    vegas_rows = max(8, int(round(52 * math.sqrt(scale))))
+    vegas_cols = max(8, int(round(60 * math.sqrt(scale))))
+    cph_rings = max(6, int(round(24 * math.sqrt(scale))))
+    cph_spokes = max(8, int(round(90 * math.sqrt(scale))))
+    return {
+        "aalborg": organic_city(aalborg_n, side=side * 0.6, seed=seed),
+        "riga": organic_city(riga_n, side=side, seed=seed + 1),
+        "copenhagen": radial_city(cph_rings, cph_spokes, seed=seed + 2),
+        "las_vegas": grid_city(vegas_rows, vegas_cols, seed=seed + 3),
+    }

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph inputs or queries.
+
+    Examples include referencing a node outside ``0..n-1``, negative edge
+    weights, or requesting coordinates from a graph that has none.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """Raised when an MCFS instance admits no feasible solution.
+
+    An instance is infeasible when some connected component of the network
+    hosts more customers than the total capacity of the best ``k_g``
+    candidate facilities available in that component (Theorem 3 of the
+    paper), or when the global budget ``k`` cannot be split across
+    components so that each receives its required minimum.
+    """
+
+
+class InvalidInstanceError(ReproError):
+    """Raised when an MCFS instance violates basic structural contracts.
+
+    Examples: a customer or facility node id outside the graph, a
+    non-positive capacity, ``k <= 0``, or duplicate candidate facilities.
+    """
+
+
+class MatchingError(ReproError):
+    """Raised when the bipartite matcher cannot satisfy a demand.
+
+    This signals that a customer cannot reach any facility with residual
+    capacity through the network -- either the network component is
+    exhausted or the candidate set itself is.
+    """
+
+
+class SolverError(ReproError):
+    """Raised when the exact MILP backend fails or reports non-optimality."""

@@ -1,0 +1,31 @@
+"""Bipartite assignment substrate (Sections IV-D and V of the paper).
+
+* :mod:`repro.flow.bipartite` -- the lazily materialized bipartite graph
+  ``G_b`` between customers and candidate facilities, with assignment
+  bookkeeping and node potentials.
+* :mod:`repro.flow.sspa` -- the Successive Shortest Path matcher:
+  ``find_pair`` (Algorithm 2) with the Theorem-1 pruning threshold, and
+  ``assign_all``, the SIA-style optimal assignment of every customer to a
+  fixed facility set.
+"""
+
+from repro.flow.bipartite import BipartiteState
+from repro.flow.mcf import FlowError, FlowNetwork, FlowResult, min_cost_flow
+from repro.flow.sspa import (
+    AssignmentResult,
+    ThresholdRule,
+    assign_all,
+    find_pair,
+)
+
+__all__ = [
+    "BipartiteState",
+    "AssignmentResult",
+    "ThresholdRule",
+    "assign_all",
+    "find_pair",
+    "FlowNetwork",
+    "FlowResult",
+    "FlowError",
+    "min_cost_flow",
+]

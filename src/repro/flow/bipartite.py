@@ -1,0 +1,216 @@
+"""The lazily materialized bipartite graph ``G_b``.
+
+WMA never builds the complete customer-facility bipartite graph (it has
+``m * l`` edges, each requiring a shortest-path computation).  Instead,
+:class:`BipartiteState` holds:
+
+* the edges materialized so far (per customer, facility -> true network
+  distance), fed by per-customer :class:`~repro.network.incremental.StreamCursor`
+  objects that reveal facilities in non-decreasing distance;
+* the running assignment ``sigma`` (which customer-facility pairs carry
+  flow) and per-facility load counts;
+* Johnson node potentials for customers and facilities, maintained by the
+  SSPA matcher so that all residual reduced costs stay non-negative.
+
+Customer-side nodes are identified by customer index ``0..m-1`` and
+facility-side nodes by facility index ``0..l-1`` (positions in the
+instance's candidate list), never by raw network node ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GraphError
+from repro.network.graph import Network
+from repro.network.incremental import StreamCursor, StreamPool
+
+
+class _FilteredCursor:
+    """A stream cursor restricted to a subset of facility nodes.
+
+    WMA's final phase assigns customers onto the *selected* facilities
+    while reusing the exploration phase's stream pool (which streams
+    towards the full candidate set).  This wrapper skips facilities
+    outside the subset; skipping only advances this customer's private
+    rank, so shared streams are unaffected.
+    """
+
+    def __init__(self, cursor: StreamCursor, allowed: frozenset[int]) -> None:
+        self._cursor = cursor
+        self._allowed = allowed
+
+    def peek(self) -> tuple[int, float] | None:
+        while True:
+            item = self._cursor.peek()
+            if item is None or item[0] in self._allowed:
+                return item
+            self._cursor.take()
+
+    def peek_distance(self) -> float:
+        item = self.peek()
+        return item[1] if item is not None else float("inf")
+
+    def take(self) -> tuple[int, float] | None:
+        item = self.peek()
+        if item is not None:
+            self._cursor.take()
+        return item
+
+
+class BipartiteState:
+    """Mutable matching state between customers and candidate facilities.
+
+    Parameters
+    ----------
+    network:
+        The road network distances are measured on.
+    customer_nodes:
+        Node id per customer (duplicates allowed).
+    facility_nodes:
+        Node id per candidate facility (distinct).
+    capacities:
+        Capacity per candidate facility.
+    pool:
+        Optional shared :class:`StreamPool`.  WMA's recursive final
+        assignment passes the pool of the main phase so network Dijkstra
+        work is reused.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        customer_nodes: Sequence[int],
+        facility_nodes: Sequence[int],
+        capacities: Sequence[int],
+        pool: StreamPool | None = None,
+    ) -> None:
+        if len(facility_nodes) != len(capacities):
+            raise GraphError("facility_nodes and capacities must align")
+        self.network = network
+        self.customer_nodes = [int(c) for c in customer_nodes]
+        self.facility_nodes = [int(f) for f in facility_nodes]
+        self.capacities = [int(c) for c in capacities]
+        self.m = len(self.customer_nodes)
+        self.l = len(self.facility_nodes)
+
+        self._fac_index_of_node = {
+            node: j for j, node in enumerate(self.facility_nodes)
+        }
+        if len(self._fac_index_of_node) != self.l:
+            raise GraphError("facility nodes must be distinct")
+
+        if pool is None:
+            pool = StreamPool(network, self.facility_nodes)
+        elif not set(self.facility_nodes) <= set(pool.facility_nodes):
+            raise GraphError(
+                "shared stream pool does not cover this state's facilities"
+            )
+        self.pool = pool
+        # Streams may target a superset of this state's facilities when the
+        # pool is shared; cursors filter down to the local candidate set.
+        self._needs_filter = len(pool.facility_nodes) != self.l
+        self._allowed_nodes = frozenset(self.facility_nodes)
+        self._cursors: list[StreamCursor | _FilteredCursor | None] = (
+            [None] * self.m
+        )
+
+        # edges[i]: facility index -> true network distance.
+        self.edges: list[dict[int, float]] = [{} for _ in range(self.m)]
+        # matched[i]: facility indices currently assigned to customer i.
+        self.matched: list[set[int]] = [set() for _ in range(self.m)]
+        # assigned[j]: customer indices in sigma_j.
+        self.assigned: list[set[int]] = [set() for _ in range(self.l)]
+        # Johnson potentials (non-negative, maintained by the matcher).
+        self.customer_potential = [0.0] * self.m
+        self.facility_potential = [0.0] * self.l
+
+        # Diagnostics the benchmarks report on.
+        self.edges_materialized = 0
+        self.dijkstra_runs = 0
+
+    # ------------------------------------------------------------------
+    # Cursors and edge materialization
+    # ------------------------------------------------------------------
+    def cursor(self, i: int) -> StreamCursor | _FilteredCursor:
+        """The nearest-facility cursor of customer ``i``."""
+        cur = self._cursors[i]
+        if cur is None:
+            cur = self.pool.cursor_for(self.customer_nodes[i])
+            if self._needs_filter:
+                cur = _FilteredCursor(cur, self._allowed_nodes)
+            self._cursors[i] = cur
+        return cur
+
+    def next_candidate_distance(self, i: int) -> float:
+        """``nnDist`` of Algorithm 2: distance of the next unrevealed facility."""
+        return self.cursor(i).peek_distance()
+
+    def materialize_next(self, i: int) -> int | None:
+        """Reveal customer ``i``'s next-nearest facility as a ``G_b`` edge.
+
+        Returns the facility index, or ``None`` when no further facility
+        is reachable from the customer's component.
+        """
+        item = self.cursor(i).take()
+        if item is None:
+            return None
+        node, dist = item
+        j = self._fac_index_of_node[node]
+        self.edges[i][j] = dist
+        self.edges_materialized += 1
+        return j
+
+    # ------------------------------------------------------------------
+    # Assignment bookkeeping
+    # ------------------------------------------------------------------
+    def load(self, j: int) -> int:
+        """Number of customers currently assigned to facility ``j``."""
+        return len(self.assigned[j])
+
+    def is_full(self, j: int) -> bool:
+        """Whether facility ``j`` has reached its capacity."""
+        return len(self.assigned[j]) >= self.capacities[j]
+
+    def match(self, i: int, j: int) -> None:
+        """Add flow on edge ``(i, j)`` (must be materialized, unmatched)."""
+        if j not in self.edges[i]:
+            raise GraphError(f"edge ({i}, {j}) is not materialized")
+        if j in self.matched[i]:
+            raise GraphError(f"edge ({i}, {j}) already carries flow")
+        self.matched[i].add(j)
+        self.assigned[j].add(i)
+
+    def unmatch(self, i: int, j: int) -> None:
+        """Remove flow on edge ``(i, j)`` (must be matched)."""
+        if j not in self.matched[i]:
+            raise GraphError(f"edge ({i}, {j}) carries no flow")
+        self.matched[i].remove(j)
+        self.assigned[j].remove(i)
+
+    def assignment_count(self, i: int) -> int:
+        """Number of facilities customer ``i`` is currently matched to."""
+        return len(self.matched[i])
+
+    def total_cost(self) -> float:
+        """Sum of true distances over all matched edges."""
+        return sum(
+            self.edges[i][j] for i in range(self.m) for j in self.matched[i]
+        )
+
+    def matched_pairs(self) -> Iterable[tuple[int, int, float]]:
+        """Yield ``(customer, facility, distance)`` for matched edges."""
+        for i in range(self.m):
+            for j in self.matched[i]:
+                yield i, j, self.edges[i][j]
+
+    def coverage_sets(self) -> list[set[int]]:
+        """``sigma_j`` per facility: the customers matched to it."""
+        return [set(s) for s in self.assigned]
+
+    def __repr__(self) -> str:
+        flow = sum(len(s) for s in self.matched)
+        return (
+            f"BipartiteState(m={self.m}, l={self.l}, "
+            f"edges={self.edges_materialized}, flow={flow})"
+        )

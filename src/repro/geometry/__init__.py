@@ -1,0 +1,21 @@
+"""Geometric substrate: Hilbert curve, spatial grid index, point helpers.
+
+The core MCFS algorithms are purely network-based; this subpackage serves
+the Hilbert baseline (space-filling-curve ordering), the synthetic data
+generators (radius queries for geometric-graph construction), and the
+Voronoi-based customer synthesis of Section VII-F.
+"""
+
+from repro.geometry.grid_index import GridIndex
+from repro.geometry.hilbert_curve import (
+    hilbert_index,
+    hilbert_point,
+    hilbert_sort,
+)
+
+__all__ = [
+    "GridIndex",
+    "hilbert_index",
+    "hilbert_point",
+    "hilbert_sort",
+]

@@ -1,0 +1,129 @@
+"""Uniform-grid spatial index for radius and nearest-point queries.
+
+The synthetic network generators of Section VII-B connect every pair of
+points closer than a cutoff radius; a naive all-pairs scan is quadratic
+and dominates generation time.  :class:`GridIndex` buckets points into
+square cells of the query radius' size so each radius query inspects only
+the 3x3 neighborhood of cells.
+
+The index is also used to snap generated customer positions to network
+nodes and to find the candidate facility nearest to a bucket centroid in
+the Hilbert baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+class GridIndex:
+    """Static uniform-grid index over a fixed 2-D point set.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, 2)``.
+    cell_size:
+        Grid cell edge length.  Pick the typical query radius; radius
+        queries larger than the cell size still work but inspect more
+        cells.
+    """
+
+    def __init__(
+        self, points: np.ndarray | Sequence[Sequence[float]], cell_size: float
+    ) -> None:
+        self._points = np.asarray(points, dtype=np.float64)
+        if self._points.ndim != 2 or self._points.shape[1] != 2:
+            raise ValueError(
+                f"points must have shape (n, 2), got {self._points.shape}"
+            )
+        if not (cell_size > 0):
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._cell = float(cell_size)
+        self._buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for idx, (x, y) in enumerate(self._points):
+            self._buckets[self._key(x, y)].append(idx)
+
+    def _key(self, x: float, y: float) -> tuple[int, int]:
+        return (int(math.floor(x / self._cell)), int(math.floor(y / self._cell)))
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed points."""
+        return self._points
+
+    def within_radius(self, x: float, y: float, radius: float) -> list[int]:
+        """Indices of points within ``radius`` of ``(x, y)`` (inclusive)."""
+        reach = int(math.ceil(radius / self._cell))
+        cx, cy = self._key(x, y)
+        out: list[int] = []
+        r2 = radius * radius
+        for gx in range(cx - reach, cx + reach + 1):
+            for gy in range(cy - reach, cy + reach + 1):
+                for idx in self._buckets.get((gx, gy), ()):
+                    dx = self._points[idx, 0] - x
+                    dy = self._points[idx, 1] - y
+                    if dx * dx + dy * dy <= r2:
+                        out.append(idx)
+        return out
+
+    def pairs_within(self, radius: float) -> Iterator[tuple[int, int, float]]:
+        """Yield each unordered pair ``(i, j, distance)`` with ``i < j``
+        at most ``radius`` apart.
+
+        This is the geometric-graph edge enumeration; each pair is
+        reported exactly once.
+        """
+        r2 = radius * radius
+        for i in range(len(self._points)):
+            x, y = self._points[i]
+            for j in self.within_radius(x, y, radius):
+                if j <= i:
+                    continue
+                dx = self._points[j, 0] - x
+                dy = self._points[j, 1] - y
+                d2 = dx * dx + dy * dy
+                if d2 <= r2:
+                    yield i, j, math.sqrt(d2)
+
+    def nearest(self, x: float, y: float) -> tuple[int, float]:
+        """Index and distance of the point nearest to ``(x, y)``.
+
+        Scans concentric cell rings outward from the query cell.  A point
+        in ring ``r`` lies at distance at least ``(r - 1) * cell_size``
+        from the query, so once the best candidate beats that bound for
+        the next unscanned ring, no farther ring can improve on it.
+        """
+        if len(self._points) == 0:
+            raise ValueError("index is empty")
+        cx, cy = self._key(x, y)
+        max_ring = self._ring_bound(cx, cy)
+        best_idx = -1
+        best_d2 = math.inf
+        for reach in range(max_ring + 1):
+            if best_idx >= 0 and (reach - 1) * self._cell > math.sqrt(best_d2):
+                break
+            for gx in range(cx - reach, cx + reach + 1):
+                for gy in range(cy - reach, cy + reach + 1):
+                    if max(abs(gx - cx), abs(gy - cy)) != reach:
+                        continue
+                    for idx in self._buckets.get((gx, gy), ()):
+                        dx = self._points[idx, 0] - x
+                        dy = self._points[idx, 1] - y
+                        d2 = dx * dx + dy * dy
+                        if d2 < best_d2:
+                            best_d2 = d2
+                            best_idx = idx
+        return best_idx, math.sqrt(best_d2)
+
+    def _ring_bound(self, cx: int, cy: int) -> int:
+        """Largest cell ring (Chebyshev radius) holding any bucket."""
+        if not self._buckets:
+            return 0
+        return max(
+            max(abs(gx - cx), abs(gy - cy)) for gx, gy in self._buckets
+        )

@@ -1,0 +1,33 @@
+"""Serialization and export of networks, instances, and solutions."""
+
+from repro.io.geojson import (
+    export_scenario,
+    instance_to_geojson,
+    network_to_geojson,
+    solution_to_geojson,
+)
+from repro.io.osm import OsmImport, load_osm_xml, nearest_network_node
+from repro.io.serialization import (
+    load_instance,
+    load_network,
+    load_solution,
+    save_instance,
+    save_network,
+    save_solution,
+)
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "save_instance",
+    "load_instance",
+    "save_solution",
+    "load_solution",
+    "network_to_geojson",
+    "instance_to_geojson",
+    "solution_to_geojson",
+    "export_scenario",
+    "OsmImport",
+    "load_osm_xml",
+    "nearest_network_node",
+]

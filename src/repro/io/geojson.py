@@ -1,0 +1,153 @@
+"""GeoJSON export of networks, instances, and solutions.
+
+The paper presents its scenarios on city maps (Figures 1, 5, 14, 15);
+this module produces the equivalent visual artifacts as GeoJSON
+FeatureCollections that drop straight into any web map or GIS tool:
+
+* the street network as ``LineString`` features;
+* customers and candidate facilities as ``Point`` features;
+* a solution's opened facilities (with load/capacity properties) and the
+  customer-to-facility assignment as connecting lines.
+
+Coordinates are emitted verbatim from the network's planar coordinates;
+callers working in a real CRS can post-transform.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import GraphError
+from repro.core.instance import MCFSInstance
+from repro.core.solution import MCFSSolution
+from repro.network.graph import Network
+
+
+def _point(coords, properties: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "type": "Feature",
+        "geometry": {"type": "Point", "coordinates": [float(coords[0]), float(coords[1])]},
+        "properties": properties,
+    }
+
+
+def _line(a, b, properties: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "type": "Feature",
+        "geometry": {
+            "type": "LineString",
+            "coordinates": [
+                [float(a[0]), float(a[1])],
+                [float(b[0]), float(b[1])],
+            ],
+        },
+        "properties": properties,
+    }
+
+
+def network_to_geojson(network: Network) -> dict[str, Any]:
+    """The street network as a FeatureCollection of edge LineStrings."""
+    if not network.has_coords:
+        raise GraphError("GeoJSON export requires node coordinates")
+    coords = network.coords
+    features = [
+        _line(
+            coords[u],
+            coords[v],
+            {"kind": "edge", "u": u, "v": v, "length": round(w, 3)},
+        )
+        for u, v, w in network.edges()
+    ]
+    return {"type": "FeatureCollection", "features": features}
+
+
+def instance_to_geojson(instance: MCFSInstance) -> dict[str, Any]:
+    """Customers and candidate facilities as Point features.
+
+    Multiple customers on one node are merged into a single point with a
+    ``count`` property (how map renderers expect it).
+    """
+    coords = instance.network.coords
+    counts: dict[int, int] = {}
+    for node in instance.customers:
+        counts[node] = counts.get(node, 0) + 1
+    features = [
+        _point(
+            coords[node],
+            {"kind": "customer", "node": node, "count": count},
+        )
+        for node, count in sorted(counts.items())
+    ]
+    features += [
+        _point(
+            coords[node],
+            {
+                "kind": "candidate",
+                "node": node,
+                "facility_index": j,
+                "capacity": instance.capacities[j],
+            },
+        )
+        for j, node in enumerate(instance.facility_nodes)
+    ]
+    return {"type": "FeatureCollection", "features": features}
+
+
+def solution_to_geojson(
+    instance: MCFSInstance,
+    solution: MCFSSolution,
+    *,
+    include_assignment_lines: bool = True,
+) -> dict[str, Any]:
+    """Opened facilities (+ loads) and assignment lines as GeoJSON."""
+    coords = instance.network.coords
+    loads = solution.load_per_facility()
+    features = [
+        _point(
+            coords[instance.facility_nodes[j]],
+            {
+                "kind": "facility",
+                "facility_index": j,
+                "node": instance.facility_nodes[j],
+                "capacity": instance.capacities[j],
+                "load": loads.get(j, 0),
+            },
+        )
+        for j in solution.selected
+    ]
+    if include_assignment_lines:
+        for i, j in enumerate(solution.assignment):
+            features.append(
+                _line(
+                    coords[instance.customers[i]],
+                    coords[instance.facility_nodes[j]],
+                    {
+                        "kind": "assignment",
+                        "customer": i,
+                        "facility_index": j,
+                    },
+                )
+            )
+    return {"type": "FeatureCollection", "features": features}
+
+
+def export_scenario(
+    instance: MCFSInstance,
+    solution: MCFSSolution | None,
+    path: str | Path,
+) -> None:
+    """Write network + instance (+ solution) layers into one JSON file.
+
+    The file holds an object with ``network``, ``instance``, and
+    (optionally) ``solution`` FeatureCollections -- one file per scenario
+    keeps map tooling simple.
+    """
+    payload: dict[str, Any] = {
+        "network": network_to_geojson(instance.network),
+        "instance": instance_to_geojson(instance),
+    }
+    if solution is not None:
+        payload["solution"] = solution_to_geojson(instance, solution)
+    Path(path).write_text(json.dumps(payload))

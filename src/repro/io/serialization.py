@@ -1,0 +1,147 @@
+"""Disk round-trips for networks, instances, and solutions.
+
+Networks go to ``.npz`` (flat integer/float arrays, compact and fast);
+instances pair a network ``.npz`` with the customer/facility metadata in
+the same archive; solutions are small and go to JSON.  All formats are
+versioned so future readers can detect stale files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.instance import MCFSInstance
+from repro.core.solution import MCFSSolution
+from repro.network.graph import Network
+
+_FORMAT_VERSION = 1
+
+
+def save_network(network: Network, path: str | Path) -> None:
+    """Write a network to an ``.npz`` archive."""
+    path = Path(path)
+    edges = np.array(
+        [(u, v) for u, v, _ in network.edges()], dtype=np.int64
+    ).reshape(-1, 2)
+    weights = network.edge_lengths()
+    payload = {
+        "version": np.int64(_FORMAT_VERSION),
+        "n_nodes": np.int64(network.n_nodes),
+        "directed": np.int64(1 if network.directed else 0),
+        "edges": edges,
+        "weights": weights,
+    }
+    if network.has_coords:
+        payload["coords"] = network.coords
+    np.savez_compressed(path, **payload)
+
+
+def load_network(path: str | Path) -> Network:
+    """Read a network written by :func:`save_network`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported network format version {version}")
+        edges = data["edges"]
+        weights = data["weights"]
+        coords = data["coords"] if "coords" in data else None
+        return Network(
+            int(data["n_nodes"]),
+            [
+                (int(u), int(v), float(w))
+                for (u, v), w in zip(edges, weights)
+            ],
+            coords=coords,
+            directed=bool(int(data["directed"])),
+        )
+
+
+def save_instance(instance: MCFSInstance, path: str | Path) -> None:
+    """Write an instance (network included) to an ``.npz`` archive."""
+    path = Path(path)
+    edges = np.array(
+        [(u, v) for u, v, _ in instance.network.edges()], dtype=np.int64
+    ).reshape(-1, 2)
+    payload = {
+        "version": np.int64(_FORMAT_VERSION),
+        "n_nodes": np.int64(instance.network.n_nodes),
+        "directed": np.int64(1 if instance.network.directed else 0),
+        "edges": edges,
+        "weights": instance.network.edge_lengths(),
+        "customers": np.array(instance.customers, dtype=np.int64),
+        "facility_nodes": np.array(instance.facility_nodes, dtype=np.int64),
+        "capacities": np.array(instance.capacities, dtype=np.int64),
+        "k": np.int64(instance.k),
+        "name": np.array(instance.name),
+    }
+    if instance.network.has_coords:
+        payload["coords"] = instance.network.coords
+    np.savez_compressed(path, **payload)
+
+
+def load_instance(path: str | Path) -> MCFSInstance:
+    """Read an instance written by :func:`save_instance`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported instance format version {version}")
+        coords = data["coords"] if "coords" in data else None
+        network = Network(
+            int(data["n_nodes"]),
+            [
+                (int(u), int(v), float(w))
+                for (u, v), w in zip(data["edges"], data["weights"])
+            ],
+            coords=coords,
+            directed=bool(int(data["directed"])),
+        )
+        return MCFSInstance(
+            network=network,
+            customers=tuple(int(c) for c in data["customers"]),
+            facility_nodes=tuple(int(f) for f in data["facility_nodes"]),
+            capacities=tuple(int(c) for c in data["capacities"]),
+            k=int(data["k"]),
+            name=str(data["name"]),
+        )
+
+
+def save_solution(solution: MCFSSolution, path: str | Path) -> None:
+    """Write a solution to JSON."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "selected": list(solution.selected),
+        "assignment": list(solution.assignment),
+        "objective": solution.objective,
+        "meta": _jsonable(solution.meta),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_solution(path: str | Path) -> MCFSSolution:
+    """Read a solution written by :func:`save_solution`."""
+    payload = json.loads(Path(path).read_text())
+    version = int(payload["version"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported solution format version {version}")
+    return MCFSSolution(
+        selected=tuple(payload["selected"]),
+        assignment=tuple(payload["assignment"]),
+        objective=float(payload["objective"]),
+        meta=dict(payload["meta"]),
+    )
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other common types to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

@@ -1,0 +1,58 @@
+"""Network substrate: graphs, shortest paths, and incremental searches.
+
+This subpackage implements the road-network layer the paper's algorithms
+run on: a compact weighted-graph representation (:class:`~repro.network.graph.Network`),
+Dijkstra variants (:mod:`repro.network.dijkstra`), resumable nearest-facility
+streams (:mod:`repro.network.incremental`), and connected-component
+bookkeeping (:mod:`repro.network.components`).
+"""
+
+from repro.network.components import (
+    ComponentStructure,
+    connected_components,
+    component_labels,
+)
+from repro.network.astar import astar_distance
+from repro.network.dijkstra import (
+    DijkstraResult,
+    shortest_path_lengths,
+    shortest_path,
+    multi_source_lengths,
+    distance_matrix,
+    nearest_of,
+)
+from repro.network.subgraph import (
+    SubgraphMapping,
+    giant_component_instance,
+    induced_subgraph,
+    largest_component,
+    restrict_instance,
+)
+from repro.network.voronoi import VoronoiPartition, voronoi_cells
+from repro.network.graph import Network, GraphStats
+from repro.network.incremental import NearestFacilityStream, StreamCursor, StreamPool
+
+__all__ = [
+    "Network",
+    "GraphStats",
+    "DijkstraResult",
+    "shortest_path_lengths",
+    "shortest_path",
+    "multi_source_lengths",
+    "distance_matrix",
+    "nearest_of",
+    "astar_distance",
+    "VoronoiPartition",
+    "voronoi_cells",
+    "SubgraphMapping",
+    "induced_subgraph",
+    "largest_component",
+    "restrict_instance",
+    "giant_component_instance",
+    "NearestFacilityStream",
+    "StreamCursor",
+    "StreamPool",
+    "ComponentStructure",
+    "connected_components",
+    "component_labels",
+]

@@ -1,0 +1,92 @@
+"""A* point-to-point shortest paths with a Euclidean heuristic.
+
+The core algorithms use Dijkstra variants (they need one-to-many
+distances), but downstream users of the library routinely ask one-to-one
+route queries against the same networks -- e.g. "how far would this
+customer actually travel to its assigned facility?".  A* with the
+straight-line lower bound answers those faster on embedded graphs.
+
+The heuristic is admissible only when edge weights dominate Euclidean
+distances (true for all generators in this library, whose weights *are*
+Euclidean lengths or longer).  A ``heuristic_scale`` below 1 restores
+admissibility for networks whose weights may undercut geometry.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.errors import GraphError
+from repro.network.graph import Network
+
+INF = math.inf
+
+
+def astar_distance(
+    network: Network,
+    source: int,
+    target: int,
+    *,
+    heuristic_scale: float = 1.0,
+) -> tuple[float, list[int]]:
+    """Distance and node path from ``source`` to ``target`` via A*.
+
+    Parameters
+    ----------
+    network:
+        A network with coordinates (the heuristic needs them).
+    source, target:
+        Node ids.
+    heuristic_scale:
+        Multiplier on the Euclidean lower bound; must not exceed the
+        ratio of true to Euclidean distance anywhere, or the result may
+        be suboptimal.  The default 1.0 is admissible whenever edge
+        weights are at least the Euclidean lengths.
+
+    Raises
+    ------
+    GraphError
+        When coordinates are missing, ids are invalid, or no path exists.
+    """
+    if not network.has_coords:
+        raise GraphError("A* requires node coordinates")
+    n = network.n_nodes
+    for node in (source, target):
+        if not (0 <= node < n):
+            raise GraphError(f"node {node} outside 0..{n - 1}")
+    coords = network.coords
+    indptr, indices, weights = network.csr
+
+    tx, ty = coords[target]
+
+    def h(node: int) -> float:
+        dx = coords[node, 0] - tx
+        dy = coords[node, 1] - ty
+        return heuristic_scale * math.hypot(dx, dy)
+
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(h(source), source)]
+
+    while heap:
+        _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if u == target:
+            path = [u]
+            while path[-1] in parent:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return dist[u], path
+        du = dist[u]
+        for pos in range(indptr[u], indptr[u + 1]):
+            v = int(indices[pos])
+            nd = du + weights[pos]
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd + h(v), v))
+    raise GraphError(f"no path from {source} to {target}")

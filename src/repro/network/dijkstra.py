@@ -1,0 +1,243 @@
+"""Dijkstra shortest-path variants over :class:`~repro.network.graph.Network`.
+
+The paper's algorithms need several flavours of Dijkstra:
+
+* plain single-source distances (objective evaluation, baselines);
+* multi-source distances (distance to the nearest selected facility, used
+  by the BRNN baseline and Algorithm 4);
+* bounded searches that stop past a radius (NLR construction);
+* early-exit searches that stop once a target set is settled;
+* full customer-facility distance matrices (exact MILP solver).
+
+All of them run over the CSR arrays of :class:`Network` with a binary heap
+and lazy deletion, the standard textbook approach that performs well in
+pure Python.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.network.graph import Network
+
+INF = math.inf
+
+
+@dataclass
+class DijkstraResult:
+    """Outcome of a Dijkstra run.
+
+    Attributes
+    ----------
+    dist:
+        Array of length ``n_nodes``; ``inf`` for unreached nodes.
+    parent:
+        Predecessor of each node on its shortest path (``-1`` for sources
+        and unreached nodes).
+    settled:
+        Node ids in the order they were settled (popped with final
+        distance).
+    """
+
+    dist: np.ndarray
+    parent: np.ndarray
+    settled: list[int] = field(default_factory=list)
+
+    def path_to(self, target: int) -> list[int]:
+        """Recover the node sequence from the source to ``target``.
+
+        Raises
+        ------
+        GraphError
+            If ``target`` was not reached.
+        """
+        if not np.isfinite(self.dist[target]):
+            raise GraphError(f"node {target} was not reached")
+        path = [target]
+        while self.parent[path[-1]] >= 0:
+            path.append(int(self.parent[path[-1]]))
+        path.reverse()
+        return path
+
+
+def _run(
+    network: Network,
+    sources: Sequence[int],
+    *,
+    targets: set[int] | None = None,
+    radius: float = INF,
+    max_settled: int | None = None,
+) -> DijkstraResult:
+    """Core Dijkstra loop shared by the public entry points.
+
+    ``targets`` enables early exit once every target is settled; ``radius``
+    prunes the search past a distance bound; ``max_settled`` caps the
+    number of settled nodes.
+    """
+    indptr, indices, weights = network.csr
+    n = network.n_nodes
+    dist = np.full(n, INF)
+    parent = np.full(n, -1, dtype=np.int64)
+    settled_order: list[int] = []
+    done = np.zeros(n, dtype=bool)
+
+    heap: list[tuple[float, int]] = []
+    for s in sources:
+        if not (0 <= s < n):
+            raise GraphError(f"source {s} outside 0..{n - 1}")
+        if dist[s] > 0.0:
+            dist[s] = 0.0
+            heapq.heappush(heap, (0.0, s))
+
+    remaining = set(targets) if targets is not None else None
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    while heap:
+        d, u = heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        settled_order.append(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        if max_settled is not None and len(settled_order) >= max_settled:
+            break
+        lo, hi = indptr[u], indptr[u + 1]
+        for pos in range(lo, hi):
+            v = indices[pos]
+            nd = d + weights[pos]
+            if nd < dist[v] and nd <= radius:
+                dist[v] = nd
+                parent[v] = u
+                heappush(heap, (nd, v))
+
+    return DijkstraResult(dist=dist, parent=parent, settled=settled_order)
+
+
+def shortest_path_lengths(
+    network: Network,
+    source: int,
+    *,
+    targets: Iterable[int] | None = None,
+    radius: float = INF,
+) -> DijkstraResult:
+    """Single-source shortest-path distances from ``source``.
+
+    Parameters
+    ----------
+    network:
+        The graph to search.
+    source:
+        Start node.
+    targets:
+        Optional target set; the search stops once all targets are settled,
+        so distances to non-target nodes may be missing (``inf``).
+    radius:
+        Optional search radius; nodes farther than ``radius`` are not
+        explored.
+    """
+    target_set = set(int(t) for t in targets) if targets is not None else None
+    return _run(network, [source], targets=target_set, radius=radius)
+
+
+def shortest_path(network: Network, source: int, target: int) -> tuple[float, list[int]]:
+    """Distance and node path between two nodes.
+
+    Returns ``(distance, path)``; raises :class:`GraphError` when no path
+    exists.
+    """
+    result = _run(network, [source], targets={int(target)})
+    if not np.isfinite(result.dist[target]):
+        raise GraphError(f"no path from {source} to {target}")
+    return float(result.dist[target]), result.path_to(target)
+
+
+def multi_source_lengths(
+    network: Network, sources: Iterable[int], *, radius: float = INF
+) -> DijkstraResult:
+    """Distances from each node to its nearest source.
+
+    Used to compute, e.g., the distance from every node to the nearest
+    selected facility in one sweep.
+    """
+    source_list = [int(s) for s in sources]
+    if not source_list:
+        n = network.n_nodes
+        return DijkstraResult(
+            dist=np.full(n, INF), parent=np.full(n, -1, dtype=np.int64)
+        )
+    return _run(network, source_list, radius=radius)
+
+
+def distance_matrix(
+    network: Network,
+    sources: Sequence[int],
+    targets: Sequence[int],
+) -> np.ndarray:
+    """Shortest-path distance matrix between two node sets.
+
+    Runs one early-exit Dijkstra per source.  Entry ``[i, j]`` is the
+    distance from ``sources[i]`` to ``targets[j]`` (``inf`` if
+    unreachable).  This is the input to the exact MILP solver and to
+    brute-force reference checks in tests.
+    """
+    target_arr = np.asarray(targets, dtype=np.int64)
+    matrix = np.empty((len(sources), len(target_arr)), dtype=np.float64)
+    target_set = set(int(t) for t in target_arr)
+    for i, s in enumerate(sources):
+        # Early exit is only sound when all targets can be settled; when the
+        # network is disconnected the run simply exhausts the component.
+        result = _run(network, [int(s)], targets=set(target_set))
+        matrix[i, :] = result.dist[target_arr]
+    return matrix
+
+
+def nearest_of(
+    network: Network, source: int, targets: Iterable[int]
+) -> tuple[int, float] | None:
+    """The member of ``targets`` nearest to ``source`` (network distance).
+
+    Dijkstra with first-target early exit.  Returns ``(node, distance)``
+    or ``None`` when no target is reachable.  Used by Algorithm 4 to find
+    the unselected candidate facility closest to an under-served customer.
+    """
+    target_set = {int(t) for t in targets}
+    if not target_set:
+        return None
+    indptr, indices, weights = network.csr
+    n = network.n_nodes
+    dist: dict[int, float] = {int(source): 0.0}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, int(source))]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if u in target_set:
+            return u, d
+        for pos in range(indptr[u], indptr[u + 1]):
+            v = int(indices[pos])
+            nd = d + weights[pos]
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return None
+
+
+def eccentricity_bound(network: Network, source: int) -> float:
+    """Largest finite shortest-path distance from ``source``.
+
+    A convenience used by data generators and tests to scale radii.
+    """
+    result = _run(network, [source])
+    finite = result.dist[np.isfinite(result.dist)]
+    return float(finite.max()) if finite.size else 0.0

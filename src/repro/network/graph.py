@@ -1,0 +1,274 @@
+"""Compact weighted-graph representation used by all algorithms.
+
+The paper's algorithms run Dijkstra instances over road networks with up to
+millions of edges, so the graph is stored in CSR (compressed sparse row)
+form: three flat ``numpy`` arrays giving, for each node, a contiguous slice
+of neighbor ids and edge weights.  This keeps the inner Dijkstra loop free
+of Python object overhead and makes the structure trivially serializable.
+
+Graphs are undirected by default (each input edge is stored in both
+directions); a directed mode is available because the problem statement in
+the paper permits directed networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+Edge = tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a network, mirroring the paper's Table III."""
+
+    n_nodes: int
+    n_edges: int
+    avg_degree: float
+    max_degree: int
+    avg_edge_length: float
+    n_components: int
+
+    def as_row(self) -> dict[str, float]:
+        """Return the statistics as a flat dict suitable for table output."""
+        return {
+            "nodes": self.n_nodes,
+            "edges": self.n_edges,
+            "avg_degree": round(self.avg_degree, 2),
+            "max_degree": self.max_degree,
+            "avg_edge_length": round(self.avg_edge_length, 2),
+            "components": self.n_components,
+        }
+
+
+class Network:
+    """A weighted graph over dense integer node ids ``0..n-1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.
+    edges:
+        Iterable of ``(u, v, weight)`` triples.  Weights must be positive
+        (the paper models road-segment lengths).  Parallel edges are
+        allowed; self-loops are rejected because they can never lie on a
+        shortest path and would corrupt degree statistics.
+    coords:
+        Optional ``(n_nodes, 2)`` array of planar coordinates.  Required by
+        geometry-based components (Hilbert baseline, data generators) but
+        not by the core algorithms, which are purely network-based.
+    directed:
+        When ``False`` (default) each edge is traversable in both
+        directions.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Iterable[Edge],
+        coords: np.ndarray | None = None,
+        directed: bool = False,
+    ) -> None:
+        if n_nodes < 0:
+            raise GraphError(f"n_nodes must be non-negative, got {n_nodes}")
+        self._n = int(n_nodes)
+        self._directed = bool(directed)
+
+        edge_list = [(int(u), int(v), float(w)) for u, v, w in edges]
+        for u, v, w in edge_list:
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise GraphError(
+                    f"edge ({u}, {v}) references a node outside 0..{self._n - 1}"
+                )
+            if u == v:
+                raise GraphError(f"self-loop at node {u} is not allowed")
+            if not (w > 0) or not np.isfinite(w):
+                raise GraphError(
+                    f"edge ({u}, {v}) has non-positive or non-finite weight {w}"
+                )
+        self._edge_array = np.array(
+            [(u, v) for u, v, _ in edge_list], dtype=np.int64
+        ).reshape(-1, 2)
+        self._edge_weights = np.array(
+            [w for _, _, w in edge_list], dtype=np.float64
+        )
+
+        self._indptr, self._indices, self._weights = self._build_csr(
+            self._n, edge_list, self._directed
+        )
+
+        if coords is not None:
+            coords = np.asarray(coords, dtype=np.float64)
+            if coords.shape != (self._n, 2):
+                raise GraphError(
+                    f"coords must have shape ({self._n}, 2), got {coords.shape}"
+                )
+        self._coords = coords
+
+    @staticmethod
+    def _build_csr(
+        n: int, edge_list: Sequence[Edge], directed: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build CSR adjacency arrays from an edge list."""
+        if directed:
+            arcs_u = [u for u, _, _ in edge_list]
+            arcs_v = [v for _, v, _ in edge_list]
+            arcs_w = [w for _, _, w in edge_list]
+        else:
+            arcs_u = [u for u, _, _ in edge_list] + [v for _, v, _ in edge_list]
+            arcs_v = [v for _, v, _ in edge_list] + [u for u, _, _ in edge_list]
+            arcs_w = [w for _, _, w in edge_list] * 2
+
+        counts = np.zeros(n + 1, dtype=np.int64)
+        for u in arcs_u:
+            counts[u + 1] += 1
+        indptr = np.cumsum(counts)
+        indices = np.empty(len(arcs_u), dtype=np.int64)
+        weights = np.empty(len(arcs_u), dtype=np.float64)
+        cursor = indptr[:-1].copy()
+        for u, v, w in zip(arcs_u, arcs_v, arcs_w):
+            pos = cursor[u]
+            indices[pos] = v
+            weights[pos] = w
+            cursor[u] += 1
+        return indptr, indices, weights
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Number of input edges (undirected edges counted once)."""
+        return len(self._edge_weights)
+
+    @property
+    def directed(self) -> bool:
+        """Whether the graph is directed."""
+        return self._directed
+
+    @property
+    def coords(self) -> np.ndarray:
+        """Planar coordinates, shape ``(n_nodes, 2)``.
+
+        Raises
+        ------
+        GraphError
+            If the network was built without coordinates.
+        """
+        if self._coords is None:
+            raise GraphError("this network has no coordinates attached")
+        return self._coords
+
+    @property
+    def has_coords(self) -> bool:
+        """Whether planar coordinates are attached."""
+        return self._coords is not None
+
+    @property
+    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The raw CSR arrays ``(indptr, indices, weights)``.
+
+        Exposed for the hot Dijkstra loops; treat as read-only.
+        """
+        return self._indptr, self._indices, self._weights
+
+    def neighbors(self, node: int) -> Iterator[tuple[int, float]]:
+        """Yield ``(neighbor, weight)`` pairs of ``node``."""
+        self._check_node(node)
+        lo, hi = self._indptr[node], self._indptr[node + 1]
+        for pos in range(lo, hi):
+            yield int(self._indices[pos]), float(self._weights[pos])
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node`` (total degree for undirected graphs)."""
+        self._check_node(node)
+        return int(self._indptr[node + 1] - self._indptr[node])
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield the input edges as ``(u, v, weight)`` triples."""
+        for (u, v), w in zip(self._edge_array, self._edge_weights):
+            yield int(u), int(v), float(w)
+
+    def edge_lengths(self) -> np.ndarray:
+        """Weights of the input edges as an array."""
+        return self._edge_weights.copy()
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._n):
+            raise GraphError(f"node {node} outside 0..{self._n - 1}")
+
+    # ------------------------------------------------------------------
+    # Statistics and conversions
+    # ------------------------------------------------------------------
+    def stats(self) -> GraphStats:
+        """Compute Table-III-style summary statistics."""
+        from repro.network.components import connected_components
+
+        degrees = np.diff(self._indptr)
+        avg_len = (
+            float(self._edge_weights.mean()) if self.n_edges else 0.0
+        )
+        return GraphStats(
+            n_nodes=self._n,
+            n_edges=self.n_edges,
+            avg_degree=float(degrees.mean()) if self._n else 0.0,
+            max_degree=int(degrees.max()) if self._n else 0,
+            avg_edge_length=avg_len,
+            n_components=len(connected_components(self)),
+        )
+
+    def euclidean(self, u: int, v: int) -> float:
+        """Euclidean distance between two nodes' coordinates."""
+        c = self.coords
+        return float(np.hypot(*(c[u] - c[v])))
+
+    def to_networkx(self):
+        """Convert to a :mod:`networkx` graph (for testing and interop)."""
+        import networkx as nx
+
+        g = nx.DiGraph() if self._directed else nx.Graph()
+        g.add_nodes_from(range(self._n))
+        if self._coords is not None:
+            for node in range(self._n):
+                g.nodes[node]["pos"] = tuple(self._coords[node])
+        for u, v, w in self.edges():
+            g.add_edge(u, v, weight=w)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, weight: str = "weight") -> "Network":
+        """Build a :class:`Network` from a :mod:`networkx` graph.
+
+        Node labels must be dense integers ``0..n-1``; relabel first with
+        ``networkx.convert_node_labels_to_integers`` if they are not.
+        """
+        import networkx as nx
+
+        n = g.number_of_nodes()
+        labels = set(g.nodes)
+        if labels != set(range(n)):
+            raise GraphError(
+                "node labels must be dense integers 0..n-1; "
+                "use networkx.convert_node_labels_to_integers first"
+            )
+        edges = [
+            (u, v, float(data.get(weight, 1.0))) for u, v, data in g.edges(data=True)
+        ]
+        coords = None
+        if all("pos" in g.nodes[v] for v in g.nodes) and n > 0:
+            coords = np.array([g.nodes[v]["pos"] for v in range(n)], dtype=float)
+        return cls(n, edges, coords=coords, directed=isinstance(g, nx.DiGraph))
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        return f"Network(n_nodes={self._n}, n_edges={self.n_edges}, {kind})"

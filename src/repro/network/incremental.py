@@ -1,0 +1,201 @@
+"""Resumable nearest-facility streams.
+
+The Wide Matching Algorithm materializes edges of the bipartite graph
+``G_b`` lazily: each customer owns a *paused* Dijkstra instance on the road
+network that can be resumed to reveal the next-nearest candidate facility
+on demand (Section IV-D of the paper: "the heaps for these executions per
+customer persist across FindPair() calls").
+
+Two classes implement this:
+
+* :class:`NearestFacilityStream` -- one incremental Dijkstra per *node*.
+  It records the facilities discovered so far in distance order and can be
+  asked for the facility of any rank, resuming the search as needed.
+* :class:`StreamCursor` -- a per-*customer* view over a stream.  Several
+  customers may share a node (the paper's experiments place multiple
+  customers per node); they share the underlying Dijkstra but keep
+  independent positions.
+
+Total work per stream across its lifetime is one full Dijkstra, no matter
+how advances interleave -- the amortized guarantee the paper's complexity
+analysis relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable
+
+from repro.network.graph import Network
+
+INF = math.inf
+
+
+class NearestFacilityStream:
+    """Incremental Dijkstra from one source node, filtered to facilities.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    source:
+        The node the stream searches from.
+    facility_nodes:
+        Candidate facility node ids.  A node may host both a customer and
+        a facility; the stream then reports it at distance zero.
+    """
+
+    def __init__(
+        self, network: Network, source: int, facility_nodes: Iterable[int]
+    ) -> None:
+        self._source = int(source)
+        self._facility_set = frozenset(int(f) for f in facility_nodes)
+        self._indptr, self._indices, self._weights = network.csr
+        self._dist: dict[int, float] = {self._source: 0.0}
+        self._done: set[int] = set()
+        self._heap: list[tuple[float, int]] = [(0.0, self._source)]
+        self._found: list[tuple[int, float]] = []
+        self._exhausted = False
+
+    @property
+    def source(self) -> int:
+        """The node this stream searches from."""
+        return self._source
+
+    @property
+    def found(self) -> list[tuple[int, float]]:
+        """Facilities discovered so far, in non-decreasing distance."""
+        return self._found
+
+    def facility_at(self, rank: int) -> tuple[int, float] | None:
+        """Return the ``rank``-th nearest ``(facility_node, distance)``.
+
+        Ranks are zero-based.  The Dijkstra resumes as needed.  Returns
+        ``None`` when fewer than ``rank + 1`` facilities are reachable.
+        """
+        while len(self._found) <= rank and not self._exhausted:
+            self._advance()
+        if rank < len(self._found):
+            return self._found[rank]
+        return None
+
+    def distance_at(self, rank: int) -> float:
+        """Distance of the ``rank``-th nearest facility (``inf`` if none)."""
+        item = self.facility_at(rank)
+        return item[1] if item is not None else INF
+
+    def _advance(self) -> None:
+        """Resume Dijkstra until one more facility node is settled."""
+        heap = self._heap
+        dist = self._dist
+        done = self._done
+        indptr, indices, weights = self._indptr, self._indices, self._weights
+        heappush, heappop = heapq.heappush, heapq.heappop
+
+        while heap:
+            d, u = heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            lo, hi = indptr[u], indptr[u + 1]
+            for pos in range(lo, hi):
+                v = int(indices[pos])
+                nd = d + weights[pos]
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+            if u in self._facility_set:
+                self._found.append((u, d))
+                return
+        self._exhausted = True
+
+
+class StreamCursor:
+    """A per-customer position into a (possibly shared) stream.
+
+    The cursor's *rank* counts how many facilities this customer has
+    consumed.  ``peek_distance`` is the ``nnDist`` value of Algorithm 2:
+    the network distance of the next facility this customer could still be
+    introduced to.
+    """
+
+    def __init__(self, stream: NearestFacilityStream) -> None:
+        self._stream = stream
+        self._rank = 0
+
+    @property
+    def rank(self) -> int:
+        """Number of facilities consumed by this cursor."""
+        return self._rank
+
+    @property
+    def source(self) -> int:
+        """The node the underlying stream searches from."""
+        return self._stream.source
+
+    def peek(self) -> tuple[int, float] | None:
+        """Next ``(facility_node, distance)`` without consuming it."""
+        return self._stream.facility_at(self._rank)
+
+    def peek_distance(self) -> float:
+        """Distance of the next facility, or ``inf`` when exhausted."""
+        return self._stream.distance_at(self._rank)
+
+    def take(self) -> tuple[int, float] | None:
+        """Consume and return the next ``(facility_node, distance)``."""
+        item = self._stream.facility_at(self._rank)
+        if item is not None:
+            self._rank += 1
+        return item
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further facility is reachable for this cursor."""
+        return self.peek() is None
+
+    def drain(self, limit: int | None = None) -> list[tuple[int, float]]:
+        """Consume up to ``limit`` facilities (all remaining if ``None``)."""
+        out: list[tuple[int, float]] = []
+        while limit is None or len(out) < limit:
+            item = self.take()
+            if item is None:
+                break
+            out.append(item)
+        return out
+
+
+class StreamPool:
+    """Shared streams keyed by source node, with per-customer cursors.
+
+    WMA touches customers unevenly -- covered customers stop exploring
+    early -- so streams are created on first use.  Customers co-located on
+    one node share the Dijkstra but advance independent cursors.
+    """
+
+    def __init__(self, network: Network, facility_nodes: Iterable[int]) -> None:
+        self._network = network
+        self._facility_nodes = tuple(int(f) for f in facility_nodes)
+        self._streams: dict[int, NearestFacilityStream] = {}
+
+    def stream_for(self, node: int) -> NearestFacilityStream:
+        """Return (creating if needed) the shared stream rooted at ``node``."""
+        stream = self._streams.get(node)
+        if stream is None:
+            stream = NearestFacilityStream(
+                self._network, node, self._facility_nodes
+            )
+            self._streams[node] = stream
+        return stream
+
+    def cursor_for(self, node: int) -> StreamCursor:
+        """Create a fresh cursor over the stream rooted at ``node``."""
+        return StreamCursor(self.stream_for(node))
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    @property
+    def facility_nodes(self) -> tuple[int, ...]:
+        """The candidate facility node ids this pool streams towards."""
+        return self._facility_nodes

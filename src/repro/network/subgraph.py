@@ -1,0 +1,119 @@
+"""Induced subgraphs and component extraction.
+
+Fragmented networks are first-class citizens in MCFS (Algorithm 5 exists
+because of them), but users often want to study one component in
+isolation -- e.g. restrict an instance to the giant component to compare
+against algorithms that assume connectivity.  These helpers build the
+induced :class:`~repro.network.graph.Network` plus the node relabelling,
+and lift instances onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, InvalidInstanceError
+from repro.network.components import connected_components
+from repro.network.graph import Network
+
+if TYPE_CHECKING:  # imported lazily at runtime: core depends on network
+    from repro.core.instance import MCFSInstance
+
+
+@dataclass(frozen=True)
+class SubgraphMapping:
+    """Result of :func:`induced_subgraph`.
+
+    Attributes
+    ----------
+    network:
+        The induced network with dense ids ``0..len(nodes)-1``.
+    to_sub:
+        Mapping original node id -> subgraph id.
+    to_original:
+        Array mapping subgraph id -> original node id.
+    """
+
+    network: Network
+    to_sub: dict[int, int]
+    to_original: np.ndarray
+
+
+def induced_subgraph(network: Network, nodes: Sequence[int]) -> SubgraphMapping:
+    """The subgraph induced by ``nodes`` (edges with both ends inside).
+
+    Coordinates are carried over when present.  Node order follows the
+    given sequence; duplicates are rejected.
+    """
+    node_list = [int(v) for v in nodes]
+    if len(set(node_list)) != len(node_list):
+        raise GraphError("induced_subgraph nodes must be distinct")
+    for v in node_list:
+        if not (0 <= v < network.n_nodes):
+            raise GraphError(f"node {v} outside 0..{network.n_nodes - 1}")
+    to_sub = {v: i for i, v in enumerate(node_list)}
+    edges = [
+        (to_sub[u], to_sub[v], w)
+        for u, v, w in network.edges()
+        if u in to_sub and v in to_sub
+    ]
+    coords = network.coords[node_list] if network.has_coords else None
+    sub = Network(
+        len(node_list), edges, coords=coords, directed=network.directed
+    )
+    return SubgraphMapping(
+        network=sub,
+        to_sub=to_sub,
+        to_original=np.array(node_list, dtype=np.int64),
+    )
+
+
+def largest_component(network: Network) -> SubgraphMapping:
+    """The induced subgraph of the largest connected component."""
+    components = connected_components(network)
+    if not components:
+        raise GraphError("network has no nodes")
+    biggest = max(components, key=len)
+    return induced_subgraph(network, [int(v) for v in biggest])
+
+
+def restrict_instance(
+    instance: MCFSInstance, mapping: SubgraphMapping
+) -> MCFSInstance:
+    """Lift an instance onto a subgraph.
+
+    Customers and candidates outside the subgraph are dropped; ``k`` is
+    clamped to the surviving candidate count.  Raises when no customer or
+    no candidate survives.
+    """
+    from repro.core.instance import MCFSInstance
+
+    customers = [
+        mapping.to_sub[c] for c in instance.customers if c in mapping.to_sub
+    ]
+    facilities: list[int] = []
+    capacities: list[int] = []
+    for j, node in enumerate(instance.facility_nodes):
+        if node in mapping.to_sub:
+            facilities.append(mapping.to_sub[node])
+            capacities.append(instance.capacities[j])
+    if not customers:
+        raise InvalidInstanceError("no customers inside the subgraph")
+    if not facilities:
+        raise InvalidInstanceError("no candidates inside the subgraph")
+    return MCFSInstance(
+        network=mapping.network,
+        customers=tuple(customers),
+        facility_nodes=tuple(facilities),
+        capacities=tuple(capacities),
+        k=min(instance.k, len(facilities)),
+        name=f"{instance.name}|subgraph",
+    )
+
+
+def giant_component_instance(instance: MCFSInstance) -> MCFSInstance:
+    """Convenience: restrict an instance to its network's giant component."""
+    return restrict_instance(instance, largest_component(instance.network))

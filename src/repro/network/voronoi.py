@@ -1,0 +1,101 @@
+"""Network Voronoi partitions.
+
+Section VII-F.1 of the paper adapts a Euclidean Voronoi customer-synthesis
+technique "to road networks via network distance calculations".  The
+primitive it needs is the *network Voronoi partition*: each node labelled
+by its nearest source (facility) in shortest-path distance.
+
+Implemented as one multi-source Dijkstra that propagates the source label
+along with the distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.network.graph import Network
+
+INF = math.inf
+
+
+@dataclass
+class VoronoiPartition:
+    """Result of :func:`voronoi_cells`.
+
+    Attributes
+    ----------
+    label:
+        For each node, the index (position in ``sources``) of its nearest
+        source; ``-1`` for unreachable nodes.
+    dist:
+        Distance to that nearest source (``inf`` when unreachable).
+    """
+
+    label: np.ndarray
+    dist: np.ndarray
+
+    def cell(self, source_index: int) -> np.ndarray:
+        """Node ids belonging to the given source's cell."""
+        return np.flatnonzero(self.label == source_index)
+
+    def adjacency(self, network: Network) -> dict[int, set[int]]:
+        """Which cells touch which: pairs linked by at least one edge.
+
+        This is the network analog of Voronoi-cell neighborhood
+        (Delaunay adjacency) used by the check-in customer synthesis.
+        """
+        neighbors: dict[int, set[int]] = {}
+        for u, v, _ in network.edges():
+            a, b = int(self.label[u]), int(self.label[v])
+            if a < 0 or b < 0 or a == b:
+                continue
+            neighbors.setdefault(a, set()).add(b)
+            neighbors.setdefault(b, set()).add(a)
+        return neighbors
+
+
+def voronoi_cells(network: Network, sources: Sequence[int]) -> VoronoiPartition:
+    """Partition nodes by nearest source (network distance).
+
+    Ties are resolved in favour of the source settled first (i.e.,
+    deterministically by heap order).
+    """
+    if not sources:
+        raise GraphError("voronoi_cells requires at least one source")
+    n = network.n_nodes
+    indptr, indices, weights = network.csr
+    dist = np.full(n, INF)
+    label = np.full(n, -1, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+
+    heap: list[tuple[float, int, int]] = []
+    for idx, s in enumerate(sources):
+        s = int(s)
+        if not (0 <= s < n):
+            raise GraphError(f"source {s} outside 0..{n - 1}")
+        if dist[s] > 0.0:
+            dist[s] = 0.0
+            label[s] = idx
+            heapq.heappush(heap, (0.0, idx, s))
+
+    while heap:
+        d, src, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        label[u] = src
+        for pos in range(indptr[u], indptr[u + 1]):
+            v = int(indices[pos])
+            nd = d + weights[pos]
+            if nd < dist[v]:
+                dist[v] = nd
+                label[v] = src
+                heapq.heappush(heap, (nd, src, v))
+    label[~np.isfinite(dist)] = -1
+    return VoronoiPartition(label=label, dist=dist)

@@ -1,0 +1,124 @@
+"""Tests for the analysis/reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import solve
+from repro.analysis import (
+    compare_solutions,
+    convergence_report,
+    solution_stats,
+)
+from repro.analysis.reports import _gini
+from repro.core.instance import MCFSInstance
+from repro.core.solution import MCFSSolution
+from repro.core.wma import WMASolver, WMATrace
+
+from tests.conftest import build_line_network, build_random_instance
+
+
+def line_instance() -> MCFSInstance:
+    return MCFSInstance(
+        network=build_line_network(10),
+        customers=(1, 3, 8),
+        facility_nodes=(0, 4, 9),
+        capacities=(2, 2, 2),
+        k=2,
+    )
+
+
+class TestSolutionStats:
+    def test_distances(self):
+        inst = line_instance()
+        sol = MCFSSolution(selected=(1, 2), assignment=(1, 1, 2), objective=5.0)
+        stats = solution_stats(inst, sol)
+        assert stats.objective == pytest.approx(5.0)
+        assert stats.mean_distance == pytest.approx(5.0 / 3)
+        assert stats.max_distance == pytest.approx(3.0)
+        assert stats.median_distance == pytest.approx(1.0)
+
+    def test_utilization(self):
+        inst = line_instance()
+        sol = MCFSSolution(selected=(1, 2), assignment=(1, 1, 2), objective=5.0)
+        stats = solution_stats(inst, sol)
+        assert stats.facilities_open == 2
+        assert stats.facilities_used == 2
+        assert stats.mean_utilization == pytest.approx((1.0 + 0.5) / 2)
+        assert stats.max_utilization == pytest.approx(1.0)
+
+    def test_unused_open_facility(self):
+        inst = line_instance()
+        sol = MCFSSolution(
+            selected=(0, 1), assignment=(1, 1, 1), objective=1 + 1 + 4
+        )
+        # Facility 1 has capacity 2; three customers exceed it, so use a
+        # legal assignment instead: two to 1, one to 0.
+        sol = MCFSSolution(
+            selected=(0, 1), assignment=(0, 1, 1), objective=1 + 1 + 4
+        )
+        stats = solution_stats(inst, sol)
+        assert stats.facilities_used == 2
+
+    def test_as_row_keys(self):
+        inst = line_instance()
+        sol = MCFSSolution(selected=(1, 2), assignment=(1, 1, 2), objective=5.0)
+        row = solution_stats(inst, sol).as_row()
+        assert {"objective", "p95_dist", "gini_load"} <= set(row)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini(np.array([3.0, 3.0, 3.0])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        assert _gini(np.array([0.0, 0.0, 9.0])) > 0.6
+
+    def test_empty_and_zero(self):
+        assert _gini(np.array([])) == 0.0
+        assert _gini(np.zeros(4)) == 0.0
+
+
+class TestCompare:
+    def test_vs_best_column(self):
+        inst = build_random_instance(3, cap_range=(3, 6))
+        solutions = [solve(inst, method=m) for m in ("wma", "random")]
+        rows = compare_solutions(inst, solutions)
+        assert min(row["vs_best"] for row in rows) == 1.0
+        assert all(row["vs_best"] >= 1.0 for row in rows)
+        assert {row["algorithm"] for row in rows} == {"wma", "random"}
+
+
+class TestConvergence:
+    def test_report_from_real_run(self):
+        inst = build_random_instance(4, cap_range=(3, 6))
+        solver = WMASolver(inst)
+        solver.solve()
+        report = convergence_report(solver.trace, inst.m)
+        assert report["iterations"] == solver.trace.iterations
+        assert report["final_covered"] <= inst.m
+        assert report["iters_to_50pct"] is None or (
+            report["iters_to_50pct"] <= report["iterations"]
+        )
+        total_share = (
+            report["matching_time_share"] + report["cover_time_share"]
+        )
+        assert total_share == pytest.approx(1.0, abs=0.01)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_report(WMATrace(), 5)
+
+    def test_thresholds(self):
+        trace = WMATrace(
+            covered=[4, 8, 10],
+            matching_time=[0.5, 0.2, 0.1],
+            cover_time=[0.1, 0.1, 0.1],
+            edges_materialized=[10, 14, 16],
+        )
+        report = convergence_report(trace, 10)
+        assert report["iters_to_50pct"] == 2  # first iteration covers 4 < 5
+        assert report["iters_to_90pct"] == 3
+        assert report["iters_to_full"] == 3
+        assert report["edges_final"] == 16

@@ -1,0 +1,185 @@
+"""Tests for the Hilbert, BRNN, WMA Naive, and random baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.brnn import _first_facility, solve_brnn
+from repro.baselines.hilbert import solve_hilbert
+from repro.baselines.random_select import solve_random
+from repro.baselines.wma_naive import solve_wma_naive
+from repro.core.instance import MCFSInstance
+from repro.core.validation import validate_solution
+from repro.core.wma import solve_wma
+from repro.errors import InfeasibleInstanceError
+from repro.network.dijkstra import distance_matrix
+
+from tests.conftest import (
+    build_grid_network,
+    build_line_network,
+    build_random_instance,
+    build_two_component_network,
+)
+
+
+ALL_BASELINES = [solve_hilbert, solve_brnn, solve_wma_naive, solve_random]
+
+
+@pytest.mark.parametrize("solver", ALL_BASELINES)
+class TestAllBaselines:
+    def test_valid_solutions_on_random_instances(self, solver):
+        for seed in range(6):
+            inst = build_random_instance(seed, cap_range=(3, 6))
+            sol = solver(inst)
+            validate_solution(inst, sol)
+
+    def test_valid_on_disconnected_network(self, solver):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 3, 4),
+            facility_nodes=(2, 5),
+            capacities=(2, 2),
+            k=2,
+        )
+        sol = solver(inst)
+        validate_solution(inst, sol)
+
+    def test_infeasible_raises(self, solver):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 3),
+            facility_nodes=(1, 4),
+            capacities=(5, 5),
+            k=1,
+        )
+        with pytest.raises(InfeasibleInstanceError):
+            solver(inst)
+
+    def test_runtime_recorded(self, solver):
+        inst = build_random_instance(0, cap_range=(3, 6))
+        sol = solver(inst)
+        assert sol.runtime_sec > 0
+
+
+class TestHilbert:
+    def test_grid_selection_reasonable(self):
+        g = build_grid_network(6, 6)
+        inst = MCFSInstance(
+            network=g,
+            customers=tuple(range(0, 36, 3)),
+            facility_nodes=tuple(range(36)),
+            capacities=(4,) * 36,
+            k=4,
+        )
+        sol = solve_hilbert(inst)
+        validate_solution(inst, sol)
+        # Beat the trivial everything-to-one-corner bound comfortably.
+        worst = distance_matrix(g, list(inst.customers), [0]).sum()
+        assert sol.objective < worst
+
+    def test_nonuniform_capacity_repair(self):
+        inst = MCFSInstance(
+            network=build_line_network(12),
+            customers=(0, 1, 2, 3, 4, 5),
+            facility_nodes=(2, 9, 11),
+            capacities=(1, 6, 6),
+            k=2,
+        )
+        sol = solve_hilbert(inst)
+        validate_solution(inst, sol)
+
+    def test_per_component_budgeting(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 2, 3),
+            facility_nodes=(0, 1, 2, 4, 5),
+            capacities=(2, 2, 2, 2, 2),
+            k=3,
+        )
+        sol = solve_hilbert(inst)
+        validate_solution(inst, sol)
+        # Component B (one customer) must receive at least one facility.
+        fac_nodes = [inst.facility_nodes[j] for j in sol.selected]
+        assert any(node >= 3 for node in fac_nodes)
+
+    def test_meta_algorithm(self):
+        inst = build_random_instance(1, cap_range=(3, 6))
+        assert solve_hilbert(inst).meta["algorithm"] == "hilbert"
+
+
+class TestBrnn:
+    def test_first_facility_is_one_median(self):
+        inst = MCFSInstance(
+            network=build_line_network(11),
+            customers=(0, 5, 10),
+            facility_nodes=(0, 5, 10),
+            capacities=(5, 5, 5),
+            k=2,
+        )
+        assert _first_facility(inst) == 1  # node 5 minimizes summed distance
+
+    def test_first_facility_prefers_reaching_more_customers(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 3),
+            facility_nodes=(2, 4),
+            capacities=(5, 5),
+            k=2,
+        )
+        # Facility 0 (node 2) reaches two customers; facility 1 only one.
+        assert _first_facility(inst) == 0
+
+    def test_selects_k_distinct(self):
+        inst = build_random_instance(2, cap_range=(3, 6))
+        sol = solve_brnn(inst)
+        assert len(set(sol.selected)) == len(sol.selected) == inst.k
+
+    def test_meta_algorithm(self):
+        inst = build_random_instance(1, cap_range=(3, 6))
+        assert solve_brnn(inst).meta["algorithm"] == "brnn"
+
+
+class TestWmaNaive:
+    def test_deterministic_given_seed(self):
+        inst = build_random_instance(5, cap_range=(3, 6))
+        a = solve_wma_naive(inst, seed=3)
+        b = solve_wma_naive(inst, seed=3)
+        assert a.selected == b.selected
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_never_better_than_wma_by_much(self):
+        """Naive may tie WMA but should not beat it systematically."""
+        wins = 0
+        for seed in range(8):
+            inst = build_random_instance(seed, cap_range=(3, 6))
+            naive = solve_wma_naive(inst)
+            wma = solve_wma(inst)
+            if naive.objective < wma.objective - 1e-9:
+                wins += 1
+        assert wins <= 3
+
+    def test_meta_reports_iterations(self):
+        inst = build_random_instance(1, cap_range=(3, 6))
+        sol = solve_wma_naive(inst)
+        assert sol.meta["iterations"] >= 1
+
+
+class TestRandomBaseline:
+    def test_seed_changes_selection(self):
+        inst = build_random_instance(0, l=12, k=4, cap_range=(3, 6))
+        selections = {solve_random(inst, seed=s).selected for s in range(6)}
+        assert len(selections) > 1
+
+    def test_wma_beats_random_on_average(self):
+        wma_total = rand_total = 0.0
+        for seed in range(8):
+            inst = build_random_instance(seed, n=40, m=10, l=12, k=3,
+                                         cap_range=(4, 8))
+            wma_total += solve_wma(inst).objective
+            rand_total += solve_random(inst, seed=seed).objective
+        assert wma_total < rand_total

@@ -1,0 +1,147 @@
+"""Tests for the check-in and bike-flow demand synthesis pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.bikeflow import (
+    bike_demand_distribution,
+    node_divergence,
+    simulate_hourly_flows,
+)
+from repro.datagen.checkins import (
+    occupancy_customer_distribution,
+    synth_occupancies,
+)
+
+from tests.conftest import (
+    build_grid_network,
+    build_line_network,
+    build_two_component_network,
+)
+
+
+class TestOccupancies:
+    def test_mean_and_positivity(self):
+        rng = np.random.default_rng(0)
+        occ = synth_occupancies(500, rng, mean=25.0)
+        assert occ.shape == (500,)
+        assert (occ > 0).all()
+        assert occ.mean() == pytest.approx(25.0)
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(1)
+        occ = synth_occupancies(2000, rng, sigma=1.2)
+        assert occ.max() > 5 * np.median(occ)
+
+
+class TestCheckinDistribution:
+    def test_mass_conserved(self):
+        g = build_grid_network(6, 6)
+        venues = [0, 17, 35]
+        occ = np.array([10.0, 20.0, 30.0])
+        weights = occupancy_customer_distribution(g, venues, occ)
+        assert weights.sum() == pytest.approx(occ.sum(), rel=1e-6)
+        assert (weights >= 0).all()
+
+    def test_unreachable_nodes_zero(self):
+        g = build_two_component_network()
+        weights = occupancy_customer_distribution(g, [0], np.array([12.0]))
+        assert weights[3:].sum() == 0.0
+        assert weights[:3].sum() == pytest.approx(12.0)
+
+    def test_omega_extremes(self):
+        g = build_grid_network(5, 5)
+        venues = [0, 24]
+        occ = np.array([10.0, 10.0])
+        for omega in (0.0, 0.5, 1.0):
+            weights = occupancy_customer_distribution(
+                g, venues, occ, omega=omega
+            )
+            assert weights.sum() == pytest.approx(20.0, rel=1e-6)
+
+    def test_invalid_omega(self):
+        g = build_grid_network(3, 3)
+        with pytest.raises(ValueError):
+            occupancy_customer_distribution(
+                g, [0], np.array([1.0]), omega=1.5
+            )
+
+    def test_misaligned_inputs(self):
+        g = build_grid_network(3, 3)
+        with pytest.raises(ValueError):
+            occupancy_customer_distribution(g, [0, 1], np.array([1.0]))
+
+    def test_popular_neighbor_attracts_mass(self):
+        """With omega=1, sectors toward high-occupancy neighbors get more."""
+        g = build_line_network(30)
+        venues = [0, 15, 29]
+        occ = np.array([1.0, 10.0, 100.0])
+        weights = occupancy_customer_distribution(g, venues, occ, omega=1.0)
+        cell_mid = slice(8, 23)
+        mass_toward_right = weights[15:23].sum()
+        mass_toward_left = weights[8:15].sum()
+        assert mass_toward_right >= mass_toward_left
+
+
+class TestBikeFlow:
+    def test_flow_shape(self):
+        g = build_grid_network(6, 6)
+        rng = np.random.default_rng(0)
+        flows = simulate_hourly_flows(g, rng, hours=24)
+        assert flows.shape == (24, g.n_edges)
+
+    def test_commute_reversal(self):
+        """Morning and evening flows point in opposite directions."""
+        g = build_grid_network(8, 8)
+        rng = np.random.default_rng(1)
+        flows = simulate_hourly_flows(g, rng, noise=0.0)
+        morning, evening = flows[8], flows[17]
+        corr = np.corrcoef(morning, evening)[0, 1]
+        assert corr < -0.5
+
+    def test_divergence_conserves_total(self):
+        """Sum of divergences is zero: every departure arrives somewhere."""
+        g = build_grid_network(5, 5)
+        rng = np.random.default_rng(2)
+        flows = simulate_hourly_flows(g, rng)
+        for h in (0, 8, 17):
+            div = node_divergence(g, flows[h])
+            assert div.sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_divergence_simple_edge(self):
+        g = build_line_network(3)
+        div = node_divergence(g, np.array([2.0, -1.0]))
+        # Edge 0->1 carries +2 (into node 1), edge 1->2 carries -1
+        # (into node 1 as well).
+        assert div[0] == pytest.approx(-2.0)
+        assert div[1] == pytest.approx(3.0)
+        assert div[2] == pytest.approx(-1.0)
+
+    def test_demand_distribution_normalized(self):
+        g = build_grid_network(7, 7)
+        rng = np.random.default_rng(3)
+        flows = simulate_hourly_flows(g, rng)
+        demand = bike_demand_distribution(g, flows)
+        assert demand.sum() == pytest.approx(1.0)
+        assert (demand >= 0).all()
+
+    def test_zero_flow_rejected(self):
+        g = build_grid_network(3, 3)
+        flows = np.zeros((24, g.n_edges))
+        with pytest.raises(ValueError):
+            bike_demand_distribution(g, flows)
+
+    def test_center_busier_than_periphery(self):
+        """Commute flows make central nodes higher-demand on average."""
+        g = build_grid_network(9, 9)
+        rng = np.random.default_rng(4)
+        flows = simulate_hourly_flows(g, rng, noise=0.05)
+        demand = bike_demand_distribution(g, flows)
+        coords = g.coords
+        center = coords.mean(axis=0)
+        dist = np.hypot(*(coords - center).T)
+        near = demand[dist <= np.median(dist)].mean()
+        far = demand[dist > np.median(dist)].mean()
+        assert near > far

@@ -1,0 +1,145 @@
+"""Tests for customer placement and capacity models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.capacities import (
+    operational_hours_capacities,
+    uniform_capacities,
+    uniform_random_capacities,
+)
+from repro.datagen.customers import (
+    clustered_customers,
+    district_population_customers,
+    uniform_customers,
+    weighted_customers,
+)
+
+from tests.conftest import build_grid_network, build_random_network
+
+
+class TestUniformCustomers:
+    def test_count_and_range(self):
+        g = build_grid_network(5, 5)
+        rng = np.random.default_rng(0)
+        customers = uniform_customers(g, 10, rng)
+        assert len(customers) == 10
+        assert all(0 <= c < 25 for c in customers)
+
+    def test_distinct(self):
+        g = build_grid_network(5, 5)
+        rng = np.random.default_rng(0)
+        customers = uniform_customers(g, 25, rng, distinct=True)
+        assert len(set(customers)) == 25
+
+    def test_distinct_overflow_rejected(self):
+        g = build_grid_network(2, 2)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            uniform_customers(g, 5, rng, distinct=True)
+
+    def test_with_replacement(self):
+        g = build_grid_network(2, 2)
+        rng = np.random.default_rng(0)
+        customers = uniform_customers(g, 20, rng, distinct=False)
+        assert len(customers) == 20
+
+
+class TestWeightedCustomers:
+    def test_respects_zero_weights(self):
+        g = build_grid_network(3, 3)
+        rng = np.random.default_rng(1)
+        weights = np.zeros(9)
+        weights[4] = 1.0
+        customers = weighted_customers(g, 15, weights, rng)
+        assert set(customers) == {4}
+
+    def test_negative_weights_clipped(self):
+        g = build_grid_network(3, 3)
+        rng = np.random.default_rng(1)
+        weights = -np.ones(9)
+        weights[2] = 3.0
+        customers = weighted_customers(g, 5, weights, rng)
+        assert set(customers) == {2}
+
+    def test_all_zero_rejected(self):
+        g = build_grid_network(3, 3)
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            weighted_customers(g, 5, np.zeros(9), rng)
+
+    def test_distribution_followed(self):
+        g = build_grid_network(2, 2)
+        rng = np.random.default_rng(2)
+        weights = np.array([8.0, 1.0, 1.0, 0.0])
+        customers = weighted_customers(g, 4000, weights, rng)
+        counts = np.bincount(customers, minlength=4)
+        assert counts[0] > counts[1]
+        assert counts[3] == 0
+        assert counts[0] / 4000 == pytest.approx(0.8, abs=0.05)
+
+
+class TestClusteredCustomers:
+    def test_concentration(self):
+        g = build_random_network(100, seed=4)
+        rng = np.random.default_rng(3)
+        customers = clustered_customers(g, 50, 2, rng, concentration=0.05)
+        # Strong concentration: few distinct hotspot neighborhoods.
+        assert len(set(customers)) < 50
+
+
+class TestDistrictCustomers:
+    def test_counts(self):
+        g = build_random_network(100, seed=5)
+        rng = np.random.default_rng(4)
+        customers = district_population_customers(g, 30, rng, districts=4)
+        assert len(customers) == 30
+        assert all(0 <= c < 100 for c in customers)
+
+    def test_skew_concentrates(self):
+        g = build_random_network(200, seed=6)
+        heavy = district_population_customers(
+            g, 300, np.random.default_rng(0), districts=5, skew=3.0
+        )
+        flat = district_population_customers(
+            g, 300, np.random.default_rng(0), districts=5, skew=0.0
+        )
+        assert len(set(heavy)) <= len(set(flat)) + 20
+
+
+class TestCapacities:
+    def test_uniform(self):
+        assert uniform_capacities(4, 7) == [7, 7, 7, 7]
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_capacities(3, 0)
+
+    def test_random_range(self):
+        rng = np.random.default_rng(5)
+        caps = uniform_random_capacities(500, 1, 10, rng)
+        assert len(caps) == 500
+        assert min(caps) >= 1
+        assert max(caps) <= 10
+        assert set(caps) == set(range(1, 11))
+
+    def test_random_range_invalid(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            uniform_random_capacities(3, 5, 2, rng)
+        with pytest.raises(ValueError):
+            uniform_random_capacities(3, 0, 2, rng)
+
+    def test_operational_hours(self):
+        rng = np.random.default_rng(6)
+        caps = operational_hours_capacities(1000, rng)
+        assert all(1 <= c <= 24 for c in caps)
+        # The paper reports an average of ~9 hours.
+        assert 8.0 < np.mean(caps) < 10.0
+
+    def test_operational_hours_scaled(self):
+        rng = np.random.default_rng(6)
+        caps = operational_hours_capacities(100, rng, scale_per_hour=3)
+        assert all(c % 3 == 0 for c in caps)

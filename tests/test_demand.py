@@ -1,0 +1,53 @@
+"""Tests for demand (exploration vector) policies."""
+
+from __future__ import annotations
+
+from repro.core.demand import SelectiveDemandPolicy, UniformDemandPolicy
+
+
+class TestSelective:
+    def test_grows_only_uncovered(self):
+        policy = SelectiveDemandPolicy()
+        deltas = policy.deltas(
+            demand=[1, 1, 1],
+            covered=[True, False, False],
+            max_demand=[5, 5, 5],
+        )
+        assert deltas == [0, 1, 1]
+
+    def test_respects_cap(self):
+        policy = SelectiveDemandPolicy()
+        deltas = policy.deltas(
+            demand=[5, 2], covered=[False, False], max_demand=[5, 5]
+        )
+        assert deltas == [0, 1]
+
+    def test_all_covered_terminates(self):
+        policy = SelectiveDemandPolicy()
+        assert policy.deltas([1, 2], [True, True], [9, 9]) == [0, 0]
+
+    def test_name(self):
+        assert SelectiveDemandPolicy().name == "selective"
+
+
+class TestUniform:
+    def test_grows_everyone_when_any_uncovered(self):
+        policy = UniformDemandPolicy()
+        deltas = policy.deltas(
+            demand=[1, 1, 1],
+            covered=[True, True, False],
+            max_demand=[5, 5, 5],
+        )
+        assert deltas == [1, 1, 1]
+
+    def test_respects_cap(self):
+        policy = UniformDemandPolicy()
+        deltas = policy.deltas([5, 1], [False, False], [5, 5])
+        assert deltas == [0, 1]
+
+    def test_all_covered_terminates(self):
+        policy = UniformDemandPolicy()
+        assert policy.deltas([3, 3], [True, True], [9, 9]) == [0, 0]
+
+    def test_name(self):
+        assert UniformDemandPolicy().name == "uniform"

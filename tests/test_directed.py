@@ -1,0 +1,123 @@
+"""Tests for MCFS on directed networks.
+
+The paper's problem statement allows "directed or undirected" graphs;
+distances are customer-to-facility throughout (the direction the matcher
+optimizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import solve, validate_solution
+from repro.analysis import solution_stats
+from repro.core.instance import MCFSInstance
+from repro.core.validation import evaluate_objective
+from repro.network.graph import Network
+
+
+def directed_cycle(n: int, weight: float = 1.0) -> Network:
+    """A directed cycle 0 -> 1 -> ... -> n-1 -> 0."""
+    return Network(
+        n, [(i, (i + 1) % n, weight) for i in range(n)], directed=True
+    )
+
+
+def asymmetric_pair() -> Network:
+    """Two nodes where the forward arc is much cheaper than the return."""
+    return Network(2, [(0, 1, 1.0), (1, 0, 10.0)], directed=True)
+
+
+class TestDirectedObjective:
+    def test_uses_customer_to_facility_direction(self):
+        g = asymmetric_pair()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0,),
+            facility_nodes=(1,),
+            capacities=(1,),
+            k=1,
+        )
+        # Customer at 0 reaching facility at 1 costs 1 (not 10).
+        assert evaluate_objective(inst, (0,)) == pytest.approx(1.0)
+
+    def test_reverse_direction(self):
+        g = asymmetric_pair()
+        inst = MCFSInstance(
+            network=g,
+            customers=(1,),
+            facility_nodes=(0,),
+            capacities=(1,),
+            k=1,
+        )
+        assert evaluate_objective(inst, (0,)) == pytest.approx(10.0)
+
+
+class TestDirectedSolving:
+    def test_wma_on_cycle(self):
+        g = directed_cycle(8)
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 4),
+            facility_nodes=(2, 6),
+            capacities=(2, 2),
+            k=2,
+        )
+        sol = solve(inst, method="wma")
+        validate_solution(inst, sol)
+        # Customer 0 -> facility at 2 costs 2 (forward only); customer 4
+        # -> facility at 6 costs 2.
+        assert sol.objective == pytest.approx(4.0)
+
+    def test_exact_on_cycle_matches_wma(self):
+        g = directed_cycle(8)
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 4),
+            facility_nodes=(2, 6),
+            capacities=(2, 2),
+            k=2,
+        )
+        wma = solve(inst, method="wma")
+        exact = solve(inst, method="exact")
+        validate_solution(inst, exact)
+        assert wma.objective == pytest.approx(exact.objective)
+
+    def test_asymmetric_distances_respected(self):
+        # One-way street: nearest facility geometrically may be far by
+        # road direction.
+        g = Network(
+            4,
+            [
+                (0, 1, 1.0),   # only way out of 0
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+            ],
+            directed=True,
+        )
+        inst = MCFSInstance(
+            network=g,
+            customers=(1,),
+            facility_nodes=(0, 2),
+            capacities=(1, 1),
+            k=1,
+        )
+        sol = solve(inst, method="wma")
+        validate_solution(inst, sol)
+        # Reaching node 0 from 1 costs 3 (around the loop); node 2 costs 1.
+        assert sol.objective == pytest.approx(1.0)
+        assert sol.selected == (1,)
+
+    def test_stats_on_directed(self):
+        g = directed_cycle(6)
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 3),
+            facility_nodes=(1, 4),
+            capacities=(2, 2),
+            k=2,
+        )
+        sol = solve(inst, method="wma")
+        stats = solution_stats(inst, sol)
+        assert stats.objective == pytest.approx(sol.objective)

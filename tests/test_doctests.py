@@ -1,0 +1,25 @@
+"""Run the doctests embedded in public docstrings.
+
+Documented examples must stay runnable; this keeps the package docstring
+quickstart and other inline examples honest.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+
+
+MODULES_WITH_DOCTESTS = [repro]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, "expected at least one doctest"

@@ -1,0 +1,198 @@
+"""Tests for the dynamic customer reallocation layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicAllocator
+from repro.core.instance import MCFSInstance
+from repro.errors import InvalidInstanceError, MatchingError
+from repro.flow.sspa import assign_all
+
+from tests.conftest import build_line_network, build_random_network
+
+
+def line_instance() -> MCFSInstance:
+    return MCFSInstance(
+        network=build_line_network(12),
+        customers=(1, 10),
+        facility_nodes=(0, 5, 11),
+        capacities=(2, 2, 2),
+        k=3,
+    )
+
+
+def optimal_cost(instance, selected, nodes) -> float:
+    sub_nodes = [instance.facility_nodes[j] for j in selected]
+    sub_caps = [instance.capacities[j] for j in selected]
+    return assign_all(instance.network, list(nodes), sub_nodes, sub_caps).cost
+
+
+class TestInitialization:
+    def test_initial_assignment_optimal(self):
+        inst = line_instance()
+        alloc = DynamicAllocator(inst, [0, 1, 2])
+        assert alloc.n_active == 2
+        assert alloc.cost == pytest.approx(
+            optimal_cost(inst, [0, 1, 2], inst.customers)
+        )
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            DynamicAllocator(line_instance(), [])
+
+    def test_load_and_residual(self):
+        inst = line_instance()
+        alloc = DynamicAllocator(inst, [0, 1, 2])
+        loads = alloc.load_per_facility()
+        assert sum(loads.values()) == 2
+        assert alloc.residual_capacity() == 6 - 2
+
+
+class TestArrivals:
+    def test_arrival_assigned_optimally(self):
+        inst = line_instance()
+        alloc = DynamicAllocator(inst, [0, 1, 2])
+        handle = alloc.add_customer(6)
+        assert alloc.facility_of(handle) == 1  # node 5 is nearest
+        assert alloc.cost == pytest.approx(
+            optimal_cost(inst, [0, 1, 2], [1, 10, 6])
+        )
+
+    def test_arrival_can_rewire(self):
+        # Facility capacities force the newcomer's nearest seat to be
+        # freed by moving an earlier customer.  Old customer at node 6
+        # holds facility 0 (node 5, capacity 1); the newcomer lands
+        # exactly on node 5.  Optimal: newcomer takes facility 0 (cost 0)
+        # and the old customer moves to facility 1 (node 10, cost 4) --
+        # total 4, strictly better than keeping the old assignment
+        # (1 + 5 = 6).
+        inst = MCFSInstance(
+            network=build_line_network(12),
+            customers=(6,),
+            facility_nodes=(5, 10),
+            capacities=(1, 1),
+            k=2,
+        )
+        alloc = DynamicAllocator(inst, [0, 1])
+        assert alloc.facility_of(0) == 0
+        alloc.add_customer(5)
+        assert alloc.cost == pytest.approx(4.0)
+        assert alloc.facility_of(0) == 1
+
+    def test_arrival_beyond_capacity_raises_and_rolls_back(self):
+        inst = MCFSInstance(
+            network=build_line_network(6),
+            customers=(0, 1),
+            facility_nodes=(2,),
+            capacities=(2,),
+            k=1,
+        )
+        alloc = DynamicAllocator(inst, [0])
+        with pytest.raises(MatchingError):
+            alloc.add_customer(3)
+        assert alloc.n_active == 2
+        # Allocator still usable after the failed arrival.
+        assert alloc.cost == pytest.approx(2 + 1)
+
+    def test_events_recorded(self):
+        inst = line_instance()
+        alloc = DynamicAllocator(inst, [0, 1, 2])
+        alloc.add_customer(6)
+        kinds = [e.kind for e in alloc.events]
+        assert kinds.count("arrival") == 3
+
+
+class TestDepartures:
+    def test_departure_frees_capacity(self):
+        inst = line_instance()
+        alloc = DynamicAllocator(inst, [0, 1, 2])
+        before = alloc.residual_capacity()
+        alloc.remove_customer(0)
+        assert alloc.n_active == 1
+        assert alloc.residual_capacity() == before + 1
+
+    def test_departure_triggers_reoptimization(self):
+        # Two customers compete for one seat at the good facility; when
+        # the winner leaves, the loser must move into the freed seat.
+        inst = MCFSInstance(
+            network=build_line_network(12),
+            customers=(5, 4),
+            facility_nodes=(5, 9),
+            capacities=(1, 5),
+            k=2,
+        )
+        alloc = DynamicAllocator(inst, [0, 1])
+        # Customer 0 (node 5) takes facility 0 at cost 0; customer 1
+        # (node 4) is pushed to facility 1 at cost 5.
+        assert alloc.cost == pytest.approx(5.0)
+        alloc.remove_customer(0)
+        # Customer 1 should now occupy facility 0 at cost 1.
+        assert alloc.cost == pytest.approx(1.0)
+        assert alloc.facility_of(1) == 0
+
+    def test_lazy_mode_defers_reoptimization(self):
+        inst = MCFSInstance(
+            network=build_line_network(12),
+            customers=(5, 4),
+            facility_nodes=(5, 9),
+            capacities=(1, 5),
+            k=2,
+        )
+        alloc = DynamicAllocator(inst, [0, 1], auto_reoptimize=False)
+        alloc.remove_customer(0)
+        assert alloc.cost == pytest.approx(5.0)  # stale but feasible
+        moved = alloc.reoptimize()
+        assert moved == 1
+        assert alloc.cost == pytest.approx(1.0)
+
+    def test_double_remove_rejected(self):
+        inst = line_instance()
+        alloc = DynamicAllocator(inst, [0, 1, 2])
+        alloc.remove_customer(0)
+        with pytest.raises(InvalidInstanceError):
+            alloc.remove_customer(0)
+
+    def test_handles_stable_across_reoptimize(self):
+        inst = line_instance()
+        alloc = DynamicAllocator(inst, [0, 1, 2])
+        h = alloc.add_customer(6)
+        alloc.remove_customer(0)
+        assert alloc.facility_of(h) in (0, 1, 2)
+        assert alloc.facility_of(1) in (0, 1, 2)
+
+
+class TestChurnOptimality:
+    def test_random_churn_stays_optimal(self):
+        """After any arrival/departure sequence, cost equals a fresh
+        optimal assignment of the surviving customers."""
+        from tests.conftest import build_grid_network
+
+        g = build_grid_network(6, 7)  # connected by construction
+        rng = np.random.default_rng(42)
+        inst = MCFSInstance(
+            network=g,
+            customers=tuple(int(v) for v in rng.choice(42, size=6)),
+            facility_nodes=(2, 11, 25, 33),
+            capacities=(3, 3, 3, 3),
+            k=4,
+        )
+        alloc = DynamicAllocator(inst, [0, 1, 2, 3])
+        live = list(range(6))
+        for step in range(25):
+            if live and rng.random() < 0.45:
+                victim = live.pop(int(rng.integers(len(live))))
+                alloc.remove_customer(victim)
+            else:
+                node = int(rng.integers(42))
+                try:
+                    live.append(alloc.add_customer(node))
+                except MatchingError:
+                    continue
+            active_nodes = [
+                alloc._node_of_handle[h] for h in live
+            ]
+            if active_nodes:
+                ref = optimal_cost(inst, [0, 1, 2, 3], active_nodes)
+                assert alloc.cost == pytest.approx(ref, rel=1e-9), step

@@ -1,0 +1,91 @@
+"""Stateful property test of the DynamicAllocator.
+
+Hypothesis drives random interleavings of arrivals, departures, and lazy
+re-optimizations against a model; after every step the allocator must be
+(a) capacity-feasible and (b) -- whenever auto-optimality applies --
+cost-equal to a fresh optimal assignment of the surviving customers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicAllocator
+from repro.core.instance import MCFSInstance
+from repro.errors import MatchingError
+from repro.flow.sspa import assign_all
+
+from tests.conftest import build_grid_network
+
+GRID = build_grid_network(5, 5)
+FACILITIES = (0, 12, 24)
+CAPACITIES = (3, 3, 3)
+
+
+def optimal_cost(nodes) -> float:
+    if not nodes:
+        return 0.0
+    return assign_all(
+        GRID,
+        list(nodes),
+        list(FACILITIES),
+        list(CAPACITIES),
+    ).cost
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        instance = MCFSInstance(
+            network=GRID,
+            customers=(6,),
+            facility_nodes=FACILITIES,
+            capacities=CAPACITIES,
+            k=3,
+        )
+        self.alloc = DynamicAllocator(instance, [0, 1, 2])
+        self.nodes: dict[int, int] = {0: 6}  # handle -> node
+
+    @rule(node=st.integers(0, 24))
+    def arrive(self, node):
+        if len(self.nodes) >= sum(CAPACITIES):
+            with pytest.raises(MatchingError):
+                self.alloc.add_customer(node)
+            return
+        handle = self.alloc.add_customer(node)
+        self.nodes[handle] = node
+
+    @precondition(lambda self: self.nodes)
+    @rule(pick=st.integers(0, 10_000))
+    def depart(self, pick):
+        handle = sorted(self.nodes)[pick % len(self.nodes)]
+        self.alloc.remove_customer(handle)
+        del self.nodes[handle]
+
+    @invariant()
+    def capacity_feasible(self):
+        loads = self.alloc.load_per_facility()
+        for j, load in loads.items():
+            assert load <= CAPACITIES[j]
+        assert sum(loads.values()) == len(self.nodes)
+
+    @invariant()
+    def cost_is_optimal(self):
+        expected = optimal_cost(list(self.nodes.values()))
+        assert self.alloc.cost == pytest.approx(expected, rel=1e-9)
+
+
+TestAllocatorStateful = AllocatorMachine.TestCase
+TestAllocatorStateful.settings = settings(
+    max_examples=20, stateful_step_count=15, deadline=None
+)

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    GraphError,
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    MatchingError,
+    ReproError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError,
+            InfeasibleInstanceError,
+            InvalidInstanceError,
+            MatchingError,
+            SolverError,
+        ],
+    )
+    def test_subclasses_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_single_catch_clause(self):
+        """One except ReproError suffices for all library failures."""
+        for exc in (GraphError, MatchingError, SolverError):
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+    def test_messages_preserved(self):
+        try:
+            raise InfeasibleInstanceError("k too small")
+        except ReproError as caught:
+            assert "k too small" in str(caught)
+
+    def test_distinct_branches(self):
+        """Sibling errors do not catch each other."""
+        with pytest.raises(GraphError):
+            try:
+                raise GraphError("g")
+            except MatchingError:  # pragma: no cover - must not trigger
+                pytest.fail("MatchingError must not catch GraphError")

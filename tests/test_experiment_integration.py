@@ -1,0 +1,108 @@
+"""Integration smoke tests: every paper experiment at miniature scale.
+
+These run each experiment factory with tiny parameters and the full
+method line-up, so a regression anywhere in the datagen -> solver ->
+validation pipeline is caught by the fast test suite (the benchmarks
+exercise realistic sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments as ex
+from repro.bench.harness import run_solvers
+
+TINY_SIZES = (96, 128)
+METHODS = ("wma", "hilbert", "wma-naive")
+
+
+def assert_all_ok(rows):
+    bad = [r for r in rows if r.failed]
+    assert not bad, [(r.method, r.meta.get("error")) for r in bad]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [ex.fig6a_cases, ex.fig6b_cases, ex.fig6c_cases, ex.fig6d_cases],
+    ids=["6a", "6b", "6c", "6d"],
+)
+def test_fig6_miniature(factory):
+    rows = []
+    for params, inst in factory(sizes=TINY_SIZES, seed=3):
+        rows += run_solvers(inst, METHODS, params=params)
+    assert_all_ok(rows)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [ex.fig7a_cases, ex.fig7b_cases, ex.fig7c_cases, ex.fig7d_cases],
+    ids=["7a", "7b", "7c", "7d"],
+)
+def test_fig7_miniature(factory):
+    rows = []
+    for params, inst in factory(sizes=TINY_SIZES, seed=3):
+        rows += run_solvers(inst, METHODS, params=params)
+    assert_all_ok(rows)
+
+
+def test_fig8_miniature():
+    sweeps = [
+        ex.fig8a_cases(n=128, fracs=(0.5, 1.0), seeds=(0,)),
+        ex.fig8b_cases(n=128, m_values=(12, 25)),
+        ex.fig8c_cases(n=96, m_values=(48, 96)),
+        ex.fig8d_cases(n=128, k_fracs=(0.2, 0.5)),
+    ]
+    for cases in sweeps:
+        rows = []
+        for params, inst in cases:
+            rows += run_solvers(inst, METHODS, params=params)
+        assert_all_ok(rows)
+
+
+def test_fig9_miniature():
+    for cases in (
+        ex.fig9a_cases(n=128, alphas=(1.2, 1.8)),
+        ex.fig9b_cases(n=128, capacities=(4, 12)),
+    ):
+        rows = []
+        for params, inst in cases:
+            rows += run_solvers(inst, METHODS, params=params)
+        assert_all_ok(rows)
+
+
+def test_table4_miniature():
+    rows = []
+    for params, inst in ex.table4_cases(scale=0.06, m=20, k=4, capacity=10):
+        rows += run_solvers(inst, METHODS, params=params)
+    assert_all_ok(rows)
+
+
+def test_fig10_miniature():
+    rows = []
+    for params, inst in ex.fig10_cases(m_values=(12, 24), scale=0.08):
+        rows += run_solvers(inst, METHODS, params=params)
+    assert_all_ok(rows)
+
+
+def test_fig12_miniature():
+    rows = []
+    cases = ex.fig12a_cases(
+        k_values=(10, 16), scale=0.06, n_venues=40, m=30
+    )
+    for params, inst in cases:
+        rows += run_solvers(
+            inst, METHODS + ("wma-uf",), params=params
+        )
+    assert_all_ok(rows)
+
+
+def test_fig13_miniature():
+    for cases in (
+        ex.fig13a_cases(k_values=(8, 12), scale=0.06, n_venues=30, m=20),
+        ex.fig13b_cases(k_values=(12, 18), scale=0.06, n_stations=40, m=25),
+    ):
+        rows = []
+        for params, inst in cases:
+            rows += run_solvers(inst, METHODS, params=params)
+        assert_all_ok(rows)

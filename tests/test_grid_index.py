@@ -1,0 +1,113 @@
+"""Tests for the uniform-grid spatial index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.grid_index import GridIndex
+
+
+def brute_within(points, x, y, radius):
+    d2 = ((points - np.array([x, y])) ** 2).sum(axis=1)
+    return sorted(np.flatnonzero(d2 <= radius * radius).tolist())
+
+
+class TestRadiusQueries:
+    def test_simple(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        index = GridIndex(pts, cell_size=1.0)
+        assert sorted(index.within_radius(0.0, 0.0, 1.5)) == [0, 1]
+        assert index.within_radius(0.0, 0.0, 0.5) == [0]
+
+    def test_inclusive_boundary(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        index = GridIndex(pts, cell_size=1.0)
+        assert sorted(index.within_radius(0.0, 0.0, 2.0)) == [0, 1]
+
+    def test_radius_larger_than_cell(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((100, 2)) * 10
+        index = GridIndex(pts, cell_size=0.5)
+        got = sorted(index.within_radius(5.0, 5.0, 3.0))
+        assert got == brute_within(pts, 5.0, 5.0, 3.0)
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((1, 2)), cell_size=0.0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((3,)), cell_size=1.0)
+
+
+class TestPairsWithin:
+    def test_each_pair_once(self):
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [0.0, 0.5], [9.0, 9.0]])
+        index = GridIndex(pts, cell_size=1.0)
+        pairs = list(index.pairs_within(1.0))
+        keys = [(i, j) for i, j, _ in pairs]
+        assert len(keys) == len(set(keys))
+        assert sorted(keys) == [(0, 1), (0, 2), (1, 2)]
+        for i, j, d in pairs:
+            assert d == pytest.approx(float(np.hypot(*(pts[i] - pts[j]))))
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((80, 2))
+        index = GridIndex(pts, cell_size=0.15)
+        got = sorted((i, j) for i, j, _ in index.pairs_within(0.15))
+        expected = []
+        for i in range(80):
+            for j in range(i + 1, 80):
+                if np.hypot(*(pts[i] - pts[j])) <= 0.15:
+                    expected.append((i, j))
+        assert got == sorted(expected)
+
+
+class TestNearest:
+    def test_nearest_simple(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        index = GridIndex(pts, cell_size=1.0)
+        idx, dist = index.nearest(1.0, 1.0)
+        assert idx == 0
+        assert dist == pytest.approx(np.sqrt(2))
+
+    def test_nearest_far_query(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        index = GridIndex(pts, cell_size=0.5)
+        idx, _ = index.nearest(100.0, 100.0)
+        assert idx == 1
+
+    def test_nearest_matches_brute_force(self):
+        rng = np.random.default_rng(9)
+        pts = rng.random((60, 2))
+        index = GridIndex(pts, cell_size=0.2)
+        for _ in range(25):
+            q = rng.random(2) * 1.4 - 0.2
+            idx, dist = index.nearest(q[0], q[1])
+            d2 = ((pts - q) ** 2).sum(axis=1)
+            assert dist == pytest.approx(np.sqrt(d2.min()))
+            assert d2[idx] == pytest.approx(d2.min())
+
+    def test_empty_index_raises(self):
+        index = GridIndex(np.zeros((0, 2)), cell_size=1.0)
+        with pytest.raises(ValueError):
+            index.nearest(0.0, 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    radius=st.floats(0.01, 0.5),
+    cell=st.floats(0.05, 0.4),
+)
+def test_property_radius_queries_match_brute_force(seed, radius, cell):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((40, 2))
+    index = GridIndex(pts, cell_size=cell)
+    q = rng.random(2)
+    got = sorted(index.within_radius(q[0], q[1], radius))
+    assert got == brute_within(pts, q[0], q[1], radius)

@@ -1,0 +1,78 @@
+"""Hardening tests for auxiliary code paths."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.datagen.urban import (
+    _stitch_components,
+    organic_city,
+    radial_city,
+)
+from repro.network.components import connected_components
+from repro.network.graph import Network
+
+
+class TestStitchComponents:
+    def test_single_component_no_extra_edges(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        edges = {(0, 1), (1, 2)}
+        assert _stitch_components(coords, edges) == set()
+
+    def test_two_components_one_bridge(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        edges = {(0, 1), (2, 3)}
+        extra = _stitch_components(coords, edges)
+        assert extra == {(1, 2)}  # nearest pair across the gap
+
+    def test_many_singletons(self):
+        coords = np.array([[float(i), 0.0] for i in range(5)])
+        extra = _stitch_components(coords, set())
+        # 4 bridges connect 5 singletons.
+        assert len(extra) == 4
+
+    def test_organic_city_connected(self):
+        for seed in range(4):
+            g = organic_city(200, seed=seed)
+            assert len(connected_components(g)) == 1
+
+    def test_organic_city_unconnected_option(self):
+        g_conn = organic_city(300, seed=1, connect=True)
+        g_raw = organic_city(300, seed=1, connect=False)
+        assert g_raw.n_edges <= g_conn.n_edges
+
+
+class TestRadialHubDegree:
+    def test_hub_degree_capped(self):
+        g = radial_city(6, 48, drop_rate=0.0, hub_degree=6)
+        assert g.degree(0) <= 8  # 48/6 = step 8 -> 6 connections
+
+    def test_small_spoke_count_unaffected(self):
+        g = radial_city(2, 6, drop_rate=0.0, hub_degree=6)
+        assert g.degree(0) == 6
+
+
+class TestDirectedStats:
+    def test_stats_on_directed_graph(self):
+        g = Network(3, [(0, 1, 2.0), (1, 2, 4.0)], directed=True)
+        stats = g.stats()
+        assert stats.n_edges == 2
+        assert stats.avg_edge_length == pytest.approx(3.0)
+        # Weak connectivity: one component.
+        assert stats.n_components == 1
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "generate" in result.stdout

@@ -1,0 +1,99 @@
+"""Tests for the Hilbert space-filling curve codec."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.hilbert_curve import (
+    hilbert_index,
+    hilbert_point,
+    hilbert_sort,
+)
+
+
+class TestCodec:
+    def test_order1_curve(self):
+        # The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+        expected = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        assert [hilbert_point(i, order=1) for i in range(4)] == expected
+        assert [hilbert_index(x, y, order=1) for x, y in expected] == [0, 1, 2, 3]
+
+    def test_bijection_order3(self):
+        order = 3
+        side = 1 << order
+        seen = set()
+        for x in range(side):
+            for y in range(side):
+                idx = hilbert_index(x, y, order)
+                assert 0 <= idx < side * side
+                assert hilbert_point(idx, order) == (x, y)
+                seen.add(idx)
+        assert len(seen) == side * side
+
+    def test_adjacent_indices_are_adjacent_cells(self):
+        """Consecutive curve positions differ by one grid step."""
+        order = 4
+        prev = hilbert_point(0, order)
+        for idx in range(1, (1 << order) ** 2):
+            cur = hilbert_point(idx, order)
+            assert abs(cur[0] - prev[0]) + abs(cur[1] - prev[1]) == 1
+            prev = cur
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index(8, 0, order=3)
+        with pytest.raises(ValueError):
+            hilbert_index(-1, 0, order=3)
+        with pytest.raises(ValueError):
+            hilbert_point(64, order=3)
+        with pytest.raises(ValueError):
+            hilbert_point(-1, order=3)
+
+
+class TestSort:
+    def test_sort_is_permutation(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((50, 2))
+        order = hilbert_sort(pts)
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_locality_beats_random_order(self):
+        """Average hop length along the Hilbert order beats random order."""
+        rng = np.random.default_rng(1)
+        pts = rng.random((300, 2))
+        order = hilbert_sort(pts)
+        sorted_pts = pts[order]
+        hilbert_hops = np.hypot(*(np.diff(sorted_pts, axis=0).T)).mean()
+        random_hops = np.hypot(*(np.diff(pts, axis=0).T)).mean()
+        assert hilbert_hops < 0.5 * random_hops
+
+    def test_degenerate_axis(self):
+        pts = np.array([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0]])
+        order = hilbert_sort(pts)
+        assert sorted(order.tolist()) == [0, 1, 2]
+
+    def test_identical_points(self):
+        pts = np.ones((4, 2))
+        order = hilbert_sort(pts)
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_sort(np.zeros((3, 3)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    x=st.integers(0, 255),
+    y=st.integers(0, 255),
+    order=st.integers(8, 12),
+)
+def test_property_round_trip(x, y, order):
+    """index -> point -> index is the identity for any order."""
+    idx = hilbert_index(x, y, order)
+    assert hilbert_index(*hilbert_point(idx, order), order) == idx

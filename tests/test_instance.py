@@ -1,0 +1,131 @@
+"""Tests for the MCFS instance model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import MCFSInstance
+from repro.errors import InvalidInstanceError
+
+from tests.conftest import build_line_network, build_two_component_network
+
+
+def make_instance(**overrides) -> MCFSInstance:
+    g = build_line_network(10)
+    defaults = dict(
+        network=g,
+        customers=(1, 3, 5),
+        facility_nodes=(0, 4, 9),
+        capacities=(2, 2, 2),
+        k=2,
+    )
+    defaults.update(overrides)
+    return MCFSInstance(**defaults)
+
+
+class TestValidation:
+    def test_valid_instance(self):
+        inst = make_instance()
+        assert inst.m == 3
+        assert inst.l == 3
+        assert inst.k == 2
+
+    def test_no_customers_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="customers"):
+            make_instance(customers=())
+
+    def test_no_facilities_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="facilities"):
+            make_instance(facility_nodes=(), capacities=())
+
+    def test_misaligned_capacities_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="capacities"):
+            make_instance(capacities=(1, 2))
+
+    def test_duplicate_facility_nodes_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="distinct"):
+            make_instance(facility_nodes=(0, 0, 9), capacities=(1, 1, 1))
+
+    def test_customer_outside_graph_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="customer"):
+            make_instance(customers=(1, 99))
+
+    def test_facility_outside_graph_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="facility"):
+            make_instance(facility_nodes=(0, 99, 9))
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="capacity"):
+            make_instance(capacities=(2, 0, 2))
+
+    def test_k_bounds(self):
+        with pytest.raises(InvalidInstanceError, match="k="):
+            make_instance(k=0)
+        with pytest.raises(InvalidInstanceError, match="k="):
+            make_instance(k=4)
+
+    def test_duplicate_customers_allowed(self):
+        inst = make_instance(customers=(1, 1, 1))
+        assert inst.m == 3
+
+
+class TestDerived:
+    def test_occupancy(self):
+        inst = make_instance()  # m=3, mean c=2, k=2
+        assert inst.occupancy == pytest.approx(3 / 4)
+
+    def test_mean_capacity(self):
+        inst = make_instance(capacities=(1, 2, 6))
+        assert inst.mean_capacity == pytest.approx(3.0)
+
+    def test_facility_index_of_node(self):
+        inst = make_instance()
+        assert inst.facility_index_of_node() == {0: 0, 4: 1, 9: 2}
+
+    def test_describe(self):
+        row = make_instance().describe()
+        assert row["m"] == 3
+        assert row["k"] == 2
+
+    def test_component_structure(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 4),
+            facility_nodes=(1, 5),
+            capacities=(1, 1),
+            k=2,
+        )
+        s = inst.component_structure()
+        assert s.n_components == 2
+
+
+class TestTransforms:
+    def test_restrict_to(self):
+        inst = make_instance()
+        sub = inst.restrict_to([0, 2])
+        assert sub.facility_nodes == (0, 9)
+        assert sub.capacities == (2, 2)
+        assert sub.k == 2
+        assert sub.customers == inst.customers
+
+    def test_restrict_to_caps_k(self):
+        inst = make_instance()
+        sub = inst.restrict_to([1])
+        assert sub.k == 1
+
+    def test_with_uniform_capacities_default_mean(self):
+        inst = make_instance(capacities=(1, 2, 6))
+        uniform = inst.with_uniform_capacities()
+        assert uniform.capacities == (3, 3, 3)
+
+    def test_with_uniform_capacities_explicit(self):
+        uniform = make_instance().with_uniform_capacities(7)
+        assert uniform.capacities == (7, 7, 7)
+
+    def test_transforms_do_not_mutate_original(self):
+        inst = make_instance()
+        inst.restrict_to([0])
+        inst.with_uniform_capacities(9)
+        assert inst.capacities == (2, 2, 2)
+        assert inst.l == 3

@@ -1,0 +1,112 @@
+"""Tests for the one-call instance builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.validation import is_feasible
+from repro.datagen.instances import (
+    city_instance,
+    clustered_instance,
+    uniform_instance,
+)
+from repro.datagen.urban import grid_city
+
+
+class TestUniformInstance:
+    def test_paper_defaults(self):
+        inst = uniform_instance(256, seed=0)
+        assert inst.l == inst.network.n_nodes  # F_p = V
+        assert inst.m == 26
+        assert set(inst.capacities) == {20}
+        assert is_feasible(inst)
+
+    def test_k_fraction(self):
+        inst = uniform_instance(256, k_frac_of_m=0.5, seed=0, adjust_k=False)
+        assert inst.k == max(1, round(0.5 * inst.m))
+
+    def test_nonuniform_capacity_range(self):
+        inst = uniform_instance(256, capacity=(1, 10), seed=1)
+        assert min(inst.capacities) >= 1
+        assert max(inst.capacities) <= 10
+        assert len(set(inst.capacities)) > 1
+
+    def test_facility_fraction(self):
+        inst = uniform_instance(256, facility_frac=0.5, seed=2)
+        assert inst.l == 128
+
+    def test_adjust_k_on_fragmented_graph(self):
+        # alpha=0.8 fragments the graph; k must rise to cover components.
+        inst = uniform_instance(256, alpha=0.8, seed=3)
+        assert is_feasible(inst)
+
+    def test_deterministic(self):
+        a = uniform_instance(128, seed=9)
+        b = uniform_instance(128, seed=9)
+        assert a.customers == b.customers
+        assert a.k == b.k
+
+
+class TestClusteredInstance:
+    def test_includes_cluster_centers(self):
+        inst = clustered_instance(200, n_clusters=10, seed=0)
+        assert inst.network.n_nodes == 210
+
+    def test_explicit_m_and_k(self):
+        inst = clustered_instance(
+            200, m=50, k=10, capacity=10, seed=1, adjust_k=False
+        )
+        assert inst.m == 50
+        assert inst.k == 10
+
+    def test_multiple_customers_per_node(self):
+        inst = clustered_instance(100, m=300, k=30, capacity=20, seed=2)
+        assert inst.m == 300
+        assert len(set(inst.customers)) <= 110
+
+    def test_feasible(self):
+        for seed in range(3):
+            inst = clustered_instance(300, seed=seed)
+            assert is_feasible(inst)
+
+
+class TestCityInstance:
+    def test_basic(self):
+        g = grid_city(12, 12, seed=0)
+        inst = city_instance(g, m=30, k=5, capacity=10, seed=0)
+        assert inst.m == 30
+        assert inst.l == g.n_nodes
+        assert is_feasible(inst)
+
+    def test_candidate_subset(self):
+        g = grid_city(12, 12, seed=0)
+        inst = city_instance(g, m=30, k=5, capacity=10, l=40, seed=0)
+        assert inst.l == 40
+
+    def test_explicit_facilities_and_customers(self):
+        g = grid_city(10, 10, seed=1)
+        facilities = [0, 5, 50, 99]
+        customers = [1, 2, 3]
+        inst = city_instance(
+            g,
+            m=3,
+            k=2,
+            capacity=[2, 2, 2, 2],
+            customer_nodes=customers,
+            facility_nodes=facilities,
+        )
+        assert inst.facility_nodes == (0, 5, 50, 99)
+        assert inst.customers == (1, 2, 3)
+
+    def test_capacity_list_length_checked(self):
+        g = grid_city(10, 10, seed=1)
+        with pytest.raises(ValueError):
+            city_instance(
+                g, m=3, k=2, capacity=[2, 2], facility_nodes=[0, 1, 2]
+            )
+
+    def test_name_recorded(self):
+        g = grid_city(8, 8, seed=2)
+        inst = city_instance(g, m=5, k=2, capacity=5, name="vegas")
+        assert inst.name.startswith("vegas")

@@ -1,0 +1,199 @@
+"""Tests for the general min-cost flow solver, vs networkx references."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.flow.mcf import FlowError, FlowNetwork, min_cost_flow
+
+
+def networkx_cost(n, arcs, supplies) -> float | None:
+    g = nx.DiGraph()
+    for v in range(n):
+        g.add_node(v, demand=-supplies.get(v, 0))
+    for idx, (tail, head, cap, cost) in enumerate(arcs):
+        # networkx cannot hold parallel arcs in a DiGraph; expand via
+        # intermediate nodes when needed.
+        if g.has_edge(tail, head):
+            aux = g.number_of_nodes()
+            g.add_node(aux, demand=0)
+            g.add_edge(tail, aux, capacity=cap, weight=cost)
+            g.add_edge(aux, head, capacity=cap, weight=0)
+        else:
+            g.add_edge(tail, head, capacity=cap, weight=cost)
+    try:
+        return float(nx.min_cost_flow_cost(g))
+    except nx.NetworkXUnfeasible:
+        return None
+
+
+class TestBasics:
+    def test_single_path(self):
+        result = min_cost_flow(
+            3,
+            [(0, 1, 5, 2.0), (1, 2, 5, 3.0)],
+            {0: 4, 2: -4},
+        )
+        assert result.cost == pytest.approx(4 * 5.0)
+        assert result.flows == [4, 4]
+
+    def test_chooses_cheaper_route(self):
+        result = min_cost_flow(
+            4,
+            [(0, 1, 10, 1.0), (1, 3, 10, 1.0), (0, 2, 10, 5.0), (2, 3, 10, 5.0)],
+            {0: 3, 3: -3},
+        )
+        assert result.cost == pytest.approx(6.0)
+        assert result.flows[0] == 3
+        assert result.flows[2] == 0
+
+    def test_splits_on_capacity(self):
+        result = min_cost_flow(
+            4,
+            [(0, 1, 2, 1.0), (1, 3, 2, 1.0), (0, 2, 10, 5.0), (2, 3, 10, 5.0)],
+            {0: 5, 3: -5},
+        )
+        # 2 units on the cheap path, 3 on the expensive one.
+        assert result.cost == pytest.approx(2 * 2 + 3 * 10)
+
+    def test_transit_nodes(self):
+        result = min_cost_flow(
+            3, [(0, 1, 9, 1.0), (1, 2, 9, 1.0)], {0: 2, 2: -2}
+        )
+        assert result.cost == pytest.approx(4.0)
+
+    def test_zero_supply_trivial(self):
+        result = min_cost_flow(2, [(0, 1, 5, 1.0)], {})
+        assert result.cost == 0.0
+        assert result.flows == [0.0]
+
+
+class TestNegativeCosts:
+    def test_negative_arc_cost_accepted(self):
+        result = min_cost_flow(
+            3,
+            [(0, 1, 5, -2.0), (1, 2, 5, 3.0)],
+            {0: 1, 2: -1},
+        )
+        assert result.cost == pytest.approx(1.0)
+
+    def test_negative_cycle_rejected(self):
+        network = FlowNetwork(2)
+        network.add_arc(0, 1, 5, -3.0)
+        network.add_arc(1, 0, 5, 1.0)
+        with pytest.raises(FlowError, match="negative-cost cycle"):
+            network.solve()
+
+
+class TestErrors:
+    def test_unbalanced_supplies(self):
+        with pytest.raises(FlowError, match="sum to zero"):
+            min_cost_flow(2, [(0, 1, 5, 1.0)], {0: 2, 1: -1})
+
+    def test_infeasible_capacity(self):
+        with pytest.raises(FlowError, match="infeasible"):
+            min_cost_flow(2, [(0, 1, 1, 1.0)], {0: 3, 1: -3})
+
+    def test_disconnected_demand(self):
+        with pytest.raises(FlowError, match="infeasible"):
+            min_cost_flow(3, [(0, 1, 5, 1.0)], {0: 1, 2: -1})
+
+    def test_bad_nodes_and_caps(self):
+        network = FlowNetwork(2)
+        with pytest.raises(FlowError):
+            network.add_arc(0, 5, 1, 1.0)
+        with pytest.raises(FlowError):
+            network.add_arc(0, 1, -1, 1.0)
+        with pytest.raises(FlowError):
+            FlowNetwork(0)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_networks(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        arcs = []
+        for _ in range(18):
+            tail, head = rng.choice(n, size=2, replace=False)
+            arcs.append(
+                (
+                    int(tail),
+                    int(head),
+                    int(rng.integers(1, 6)),
+                    float(rng.integers(1, 10)),
+                )
+            )
+        amount = int(rng.integers(1, 5))
+        supplies = {0: amount, n - 1: -amount}
+        ref = networkx_cost(n, arcs, supplies)
+        if ref is None:
+            with pytest.raises(FlowError):
+                min_cost_flow(n, arcs, supplies)
+            return
+        result = min_cost_flow(n, arcs, supplies)
+        assert result.cost == pytest.approx(ref)
+
+    def test_multi_source_multi_sink(self):
+        arcs = [
+            (0, 2, 4, 1.0),
+            (1, 2, 4, 2.0),
+            (2, 3, 5, 1.0),
+            (2, 4, 5, 3.0),
+            (0, 4, 1, 10.0),
+        ]
+        supplies = {0: 3, 1: 2, 3: -4, 4: -1}
+        ref = networkx_cost(5, arcs, supplies)
+        result = min_cost_flow(5, arcs, supplies)
+        assert result.cost == pytest.approx(ref)
+
+    def test_property_random_vs_networkx(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(seed=st.integers(0, 100_000), amount=st.integers(1, 6))
+        def check(seed, amount):
+            rng = np.random.default_rng(seed)
+            n = 7
+            arcs = []
+            for _ in range(14):
+                tail, head = rng.choice(n, size=2, replace=False)
+                arcs.append(
+                    (
+                        int(tail),
+                        int(head),
+                        int(rng.integers(1, 5)),
+                        float(rng.integers(0, 8)),
+                    )
+                )
+            supplies = {0: amount, n - 1: -amount}
+            ref = networkx_cost(n, arcs, supplies)
+            if ref is None:
+                with pytest.raises(FlowError):
+                    min_cost_flow(n, arcs, supplies)
+            else:
+                result = min_cost_flow(n, arcs, supplies)
+                assert result.cost == pytest.approx(ref)
+
+        check()
+
+    def test_flow_conservation(self):
+        arcs = [
+            (0, 1, 3, 1.0),
+            (0, 2, 3, 2.0),
+            (1, 3, 3, 1.0),
+            (2, 3, 3, 1.0),
+        ]
+        supplies = {0: 4, 3: -4}
+        result = min_cost_flow(4, arcs, supplies)
+        inflow = [0.0] * 4
+        for (tail, head, _, _), f in zip(arcs, result.flows):
+            inflow[head] += f
+            inflow[tail] -= f
+        assert inflow[0] == pytest.approx(-4)
+        assert inflow[3] == pytest.approx(4)
+        assert inflow[1] == pytest.approx(0)
+        assert inflow[2] == pytest.approx(0)

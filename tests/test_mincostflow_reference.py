@@ -1,0 +1,106 @@
+"""Independent cross-check of the matcher against networkx min-cost flow.
+
+The Hungarian cross-checks in ``test_sspa.py`` expand capacities into
+unit columns; this file validates against a *different* reference -- the
+network-simplex min-cost-flow solver of networkx -- on the exact
+transportation formulation, catching any systematic error the expansion
+could share.
+
+Costs are scaled to integers for networkx (its simplex requires integral
+arithmetic for exactness), so comparisons use the scaled values.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError
+from repro.flow.sspa import assign_all
+from repro.network.dijkstra import distance_matrix
+from repro.network.graph import Network
+
+from tests.conftest import build_grid_network, build_random_network
+
+SCALE = 10_000
+
+
+def networkx_reference(
+    network: Network, customers, facilities, capacities
+) -> float | None:
+    """Min-cost transportation via networkx network simplex.
+
+    Returns the optimal cost in *scaled integer* units, or ``None`` when
+    infeasible.
+    """
+    mat = distance_matrix(network, customers, facilities)
+    g = nx.DiGraph()
+    m = len(customers)
+    total_capacity = 0
+    for i in range(m):
+        g.add_node(f"c{i}", demand=-1)
+    for j, cap in enumerate(capacities):
+        g.add_node(f"f{j}", demand=0)
+        g.add_edge(f"f{j}", "sink", weight=0, capacity=cap)
+        total_capacity += cap
+    g.add_node("sink", demand=m)
+    if total_capacity < m:
+        return None
+    for i in range(m):
+        for j in range(len(facilities)):
+            if np.isfinite(mat[i, j]):
+                g.add_edge(
+                    f"c{i}",
+                    f"f{j}",
+                    weight=int(round(mat[i, j] * SCALE)),
+                    capacity=1,
+                )
+    try:
+        cost = nx.min_cost_flow_cost(g)
+    except nx.NetworkXUnfeasible:
+        return None
+    return float(cost)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_matches_network_simplex(seed):
+    g = build_random_network(40, seed=seed, avg_links=4)
+    rng = np.random.default_rng(seed + 321)
+    customers = [int(v) for v in rng.choice(40, size=10, replace=True)]
+    facilities = sorted(int(v) for v in rng.choice(40, size=6, replace=False))
+    capacities = [int(c) for c in rng.integers(1, 4, size=6)]
+    ref = networkx_reference(g, customers, facilities, capacities)
+    if ref is None:
+        with pytest.raises(MatchingError):
+            assign_all(g, customers, facilities, capacities)
+        return
+    result = assign_all(g, customers, facilities, capacities)
+    scaled = sum(
+        int(round(d * SCALE))
+        for d in (
+            distance_matrix(g, customers, facilities)[i, j]
+            for i, j in enumerate(result.assignment)
+        )
+    )
+    # networkx optimizes the *rounded* costs while our matcher optimizes
+    # the true floats; ties in one metric may break differently in the
+    # other, so allow one rounding ulp per customer.
+    assert abs(scaled - int(ref)) <= len(customers)
+
+
+def test_matches_on_grid_with_tight_capacity():
+    g = build_grid_network(5, 5)
+    customers = [0, 1, 2, 3, 4, 20, 21, 22]
+    facilities = [12, 24]
+    capacities = [5, 3]
+    ref = networkx_reference(g, customers, facilities, capacities)
+    result = assign_all(g, customers, facilities, capacities)
+    scaled = sum(
+        int(round(d * SCALE))
+        for d in (
+            distance_matrix(g, customers, facilities)[i, j]
+            for i, j in enumerate(result.assignment)
+        )
+    )
+    assert abs(scaled - int(ref)) <= len(customers)

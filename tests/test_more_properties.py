@@ -1,0 +1,94 @@
+"""Additional property-based tests: geometry, datagen, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.synthetic import (
+    clustered_points,
+    connection_radius,
+    geometric_network,
+    uniform_points,
+)
+from repro.geometry.hilbert_curve import hilbert_sort
+from repro.io.serialization import load_network, save_network
+from repro.network.graph import Network
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 60))
+def test_property_geometric_network_edge_lengths(seed, n):
+    """Every RGG edge respects the cutoff and equals its point distance."""
+    rng = np.random.default_rng(seed)
+    pts = uniform_points(n, rng, side=100.0)
+    radius = connection_radius(n, 1.5, side=100.0)
+    g = geometric_network(pts, radius)
+    for u, v, w in g.edges():
+        d = float(np.hypot(*(pts[u] - pts[v])))
+        assert w == pytest.approx(max(d, 1e-9))
+        assert d <= radius + 1e-9
+
+
+@COMMON
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(4, 80),
+    clusters=st.integers(1, 8),
+)
+def test_property_clustered_points_in_square(seed, n, clusters):
+    if n < clusters:
+        return
+    rng = np.random.default_rng(seed)
+    pts, centers = clustered_points(n, clusters, rng, side=50.0)
+    assert pts.shape == (n, 2)
+    assert (pts >= 0).all() and (pts <= 50.0).all()
+    assert centers.shape == (clusters, 2)
+
+
+@COMMON
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+def test_property_hilbert_sort_permutation(seed, n):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2)) * rng.integers(1, 1000)
+    order = hilbert_sort(pts)
+    assert sorted(order.tolist()) == list(range(n))
+
+
+@COMMON
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 30),
+    directed=st.booleans(),
+    with_coords=st.booleans(),
+)
+def test_property_network_serialization_round_trip(
+    tmp_path_factory, seed, n, directed, with_coords
+):
+    rng = np.random.default_rng(seed)
+    edges = []
+    for _ in range(min(3 * n, 60)):
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        edges.append((u, v, float(rng.uniform(0.1, 10.0))))
+    coords = rng.random((n, 2)) if with_coords else None
+    g = Network(n, edges, coords=coords, directed=directed)
+
+    path = tmp_path_factory.mktemp("ser") / "net.npz"
+    save_network(g, path)
+    back = load_network(path)
+    assert back.n_nodes == g.n_nodes
+    assert back.directed == g.directed
+    assert back.has_coords == g.has_coords
+    assert sorted(back.edges()) == pytest.approx(sorted(g.edges()))
+    if with_coords:
+        assert np.allclose(back.coords, g.coords)

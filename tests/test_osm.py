@@ -1,0 +1,153 @@
+"""Tests for the OSM XML importer."""
+
+from __future__ import annotations
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro import solve, validate_solution
+from repro.core.instance import MCFSInstance
+from repro.errors import GraphError
+from repro.io.osm import (
+    EARTH_RADIUS_M,
+    load_osm_xml,
+    nearest_network_node,
+)
+
+# A tiny hand-written extract: a 4-node square of residential streets
+# (~111 m sides), one oneway street, one footpath-free building way, and
+# an unused node.
+SAMPLE_OSM = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6">
+  <node id="100" lat="55.6760" lon="12.5680"/>
+  <node id="101" lat="55.6770" lon="12.5680"/>
+  <node id="102" lat="55.6770" lon="12.5696"/>
+  <node id="103" lat="55.6760" lon="12.5696"/>
+  <node id="999" lat="55.7000" lon="12.6000"/>
+  <way id="1">
+    <nd ref="100"/><nd ref="101"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="2">
+    <nd ref="101"/><nd ref="102"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="3">
+    <nd ref="102"/><nd ref="103"/><nd ref="100"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="4">
+    <nd ref="100"/><nd ref="102"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="5">
+    <nd ref="100"/><nd ref="999"/>
+    <tag k="building" v="yes"/>
+  </way>
+</osm>
+"""
+
+
+def sample() -> io.BytesIO:
+    return io.BytesIO(SAMPLE_OSM.encode())
+
+
+class TestParsing:
+    def test_nodes_and_edges(self):
+        result = load_osm_xml(sample())
+        g = result.network
+        assert g.n_nodes == 4  # node 999 only touches a building way
+        # ways 1-3 give the square's 4 sides; way 4 adds the diagonal.
+        assert g.n_edges == 5
+        assert result.osm_node_ids == [100, 101, 102, 103]
+
+    def test_edge_lengths_are_haversine_meters(self):
+        result = load_osm_xml(sample())
+        # Side 100-101 spans 0.001 degrees latitude.
+        expected = math.radians(0.001) * EARTH_RADIUS_M
+        dense = {osm: i for i, osm in enumerate(result.osm_node_ids)}
+        for u, v, w in result.network.edges():
+            if {u, v} == {dense[100], dense[101]}:
+                assert w == pytest.approx(expected, rel=1e-6)
+                break
+        else:
+            pytest.fail("edge 100-101 missing")
+
+    def test_non_highway_ways_ignored(self):
+        result = load_osm_xml(sample())
+        dense_ids = set(result.osm_node_ids)
+        assert 999 not in dense_ids
+
+    def test_directed_mode_honours_oneway(self):
+        result = load_osm_xml(sample(), directed=True)
+        g = result.network
+        assert g.directed
+        dense = {osm: i for i, osm in enumerate(result.osm_node_ids)}
+        arcs = {(u, v) for u, v, _ in g.edges()}
+        # The oneway way 4 runs 100 -> 102 only.
+        assert (dense[100], dense[102]) in arcs
+        assert (dense[102], dense[100]) not in arcs
+        # Two-way residential streets have both arcs.
+        assert (dense[100], dense[101]) in arcs
+        assert (dense[101], dense[100]) in arcs
+
+    def test_highway_whitelist(self):
+        result = load_osm_xml(sample(), keep_highways={"primary"})
+        assert result.network.n_edges == 1
+
+    def test_empty_extract_rejected(self):
+        empty = io.BytesIO(b'<?xml version="1.0"?><osm version="0.6"></osm>')
+        with pytest.raises(GraphError, match="no routable"):
+            load_osm_xml(empty)
+
+    def test_file_path_input(self, tmp_path):
+        path = tmp_path / "city.osm"
+        path.write_text(SAMPLE_OSM)
+        result = load_osm_xml(path)
+        assert result.network.n_nodes == 4
+
+
+class TestProjection:
+    def test_coords_in_meters_around_centroid(self):
+        result = load_osm_xml(sample())
+        coords = result.network.coords
+        # Centered: the centroid sits near the origin.
+        assert np.allclose(coords.mean(axis=0), [0, 0], atol=1.0)
+        # The square's extent is ~111 m x ~100 m.
+        extent = coords.max(axis=0) - coords.min(axis=0)
+        assert 80 < extent[0] < 130
+        assert 80 < extent[1] < 130
+
+    def test_project_round_trip_consistency(self):
+        result = load_osm_xml(sample())
+        x, y = result.project(55.6760, 12.5680)  # node 100's position
+        dense = result.osm_node_ids.index(100)
+        assert np.allclose(
+            result.network.coords[dense], [x, y], atol=1e-6
+        )
+
+    def test_nearest_network_node(self):
+        result = load_osm_xml(sample())
+        # Query right on node 103.
+        idx = nearest_network_node(result, 55.6760, 12.5696)
+        assert result.osm_node_ids[idx] == 103
+
+
+class TestEndToEnd:
+    def test_solve_on_imported_network(self):
+        result = load_osm_xml(sample())
+        g = result.network
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1),
+            facility_nodes=(2, 3),
+            capacities=(1, 1),
+            k=2,
+        )
+        sol = solve(inst, method="wma")
+        validate_solution(inst, sol)
+        assert sol.objective > 0

@@ -1,0 +1,111 @@
+"""Cross-cutting property-based tests over the whole solver stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import solve, validate_solution
+from repro.core.instance import MCFSInstance
+from repro.core.validation import is_feasible
+from repro.errors import InfeasibleInstanceError
+
+from tests.conftest import build_random_network
+
+
+def draw_instance(seed: int, m: int, l: int, k: int, cap_hi: int) -> MCFSInstance:
+    network = build_random_network(30, seed=seed % 25)
+    rng = np.random.default_rng(seed)
+    customers = [int(v) for v in rng.choice(30, size=m, replace=True)]
+    facilities = sorted(int(v) for v in rng.choice(30, size=l, replace=False))
+    capacities = [int(c) for c in rng.integers(1, cap_hi + 1, size=l)]
+    return MCFSInstance(
+        network=network,
+        customers=tuple(customers),
+        facility_nodes=tuple(facilities),
+        capacities=tuple(capacities),
+        k=min(k, l),
+    )
+
+
+COMMON_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON_SETTINGS
+@given(
+    seed=st.integers(0, 5_000),
+    m=st.integers(1, 9),
+    l=st.integers(2, 10),
+    k=st.integers(1, 5),
+    cap_hi=st.integers(2, 6),
+)
+def test_property_wma_output_is_always_feasible(seed, m, l, k, cap_hi):
+    """WMA either raises InfeasibleInstanceError or returns a valid solution."""
+    inst = draw_instance(seed, m, l, k, cap_hi)
+    if not is_feasible(inst):
+        with pytest.raises(InfeasibleInstanceError):
+            solve(inst, method="wma")
+        return
+    sol = solve(inst, method="wma")
+    validate_solution(inst, sol)
+
+
+@COMMON_SETTINGS
+@given(
+    seed=st.integers(0, 5_000),
+    m=st.integers(1, 8),
+    l=st.integers(2, 9),
+    k=st.integers(1, 4),
+)
+def test_property_heuristics_never_beat_exact(seed, m, l, k):
+    """No heuristic may return an objective below the MILP optimum."""
+    inst = draw_instance(seed, m, l, k, cap_hi=5)
+    if not is_feasible(inst):
+        return
+    exact = solve(inst, method="exact")
+    for method in ("wma", "wma-uf", "wma-naive", "hilbert", "random"):
+        sol = solve(inst, method=method)
+        validate_solution(inst, sol)
+        assert sol.objective >= exact.objective - 1e-6
+
+
+@COMMON_SETTINGS
+@given(
+    seed=st.integers(0, 5_000),
+    m=st.integers(2, 8),
+    l=st.integers(3, 10),
+)
+def test_property_larger_budget_never_hurts_exact(seed, m, l):
+    """The exact optimum is monotone non-increasing in k."""
+    inst_small = draw_instance(seed, m, l, k=1, cap_hi=6)
+    inst_large = MCFSInstance(
+        network=inst_small.network,
+        customers=inst_small.customers,
+        facility_nodes=inst_small.facility_nodes,
+        capacities=inst_small.capacities,
+        k=min(3, inst_small.l),
+    )
+    if not is_feasible(inst_small):
+        return
+    small = solve(inst_small, method="exact")
+    large = solve(inst_large, method="exact")
+    assert large.objective <= small.objective + 1e-6
+
+
+@COMMON_SETTINGS
+@given(seed=st.integers(0, 5_000), m=st.integers(1, 8))
+def test_property_objective_zero_iff_colocated(seed, m):
+    """Objective 0 requires every customer to sit on a selected facility."""
+    inst = draw_instance(seed, m, l=8, k=4, cap_hi=6)
+    if not is_feasible(inst):
+        return
+    sol = solve(inst, method="wma")
+    if sol.objective == 0:
+        fac_nodes = {inst.facility_nodes[j] for j in sol.selected}
+        assert all(c in fac_nodes for c in inst.customers)

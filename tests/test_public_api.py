@@ -1,0 +1,58 @@
+"""Tests for the top-level public API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import SOLVERS, solve, validate_solution
+
+from tests.conftest import build_random_instance
+
+
+class TestSolveDispatch:
+    def test_all_registered_methods_run(self):
+        inst = build_random_instance(0, cap_range=(4, 8))
+        for method in SOLVERS:
+            sol = solve(inst, method=method)
+            validate_solution(inst, sol)
+
+    def test_unknown_method_rejected(self):
+        inst = build_random_instance(0, cap_range=(4, 8))
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(inst, method="magic")
+
+    def test_kwargs_forwarded(self):
+        inst = build_random_instance(0, cap_range=(4, 8))
+        a = solve(inst, method="random", seed=1)
+        b = solve(inst, method="random", seed=2)
+        # Different seeds explore different selections (usually).
+        assert a.selected != b.selected or a.objective == b.objective
+
+    def test_default_method_is_wma(self):
+        inst = build_random_instance(1, cap_range=(4, 8))
+        sol = solve(inst)
+        assert sol.meta["algorithm"] == "wma"
+
+
+class TestPackageSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.GraphError, repro.ReproError)
+        assert issubclass(repro.InfeasibleInstanceError, repro.ReproError)
+        assert issubclass(repro.MatchingError, repro.ReproError)
+        assert issubclass(repro.SolverError, repro.ReproError)
+        assert issubclass(repro.InvalidInstanceError, repro.ReproError)
+
+    def test_docstring_quickstart_runs(self):
+        from repro.datagen import uniform_instance
+
+        instance = uniform_instance(256, seed=7)
+        solution = solve(instance, method="wma")
+        assert solution.objective > 0

@@ -1,0 +1,72 @@
+"""Tests for the newer reporting helpers (mean_rows aggregation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchRow
+from repro.bench.reporting import mean_rows
+
+
+def make_row(method, x, objective, runtime=0.1, seed=0, status="ok"):
+    return BenchRow(
+        label="t",
+        method=method,
+        objective=objective,
+        runtime_sec=runtime if objective is not None else None,
+        status=status,
+        params={"n": x, "seed": seed},
+    )
+
+
+class TestMeanRows:
+    def test_averages_over_seeds(self):
+        rows = [
+            make_row("wma", 10, 100.0, seed=0),
+            make_row("wma", 10, 200.0, seed=1),
+            make_row("wma", 20, 50.0, seed=0),
+        ]
+        out = mean_rows(rows, x_key="n")
+        by_x = {(r.method, r.params["n"]): r for r in out}
+        assert by_x[("wma", 10)].objective == pytest.approx(150.0)
+        assert by_x[("wma", 10)].params["seeds"] == 2
+        assert by_x[("wma", 20)].objective == pytest.approx(50.0)
+
+    def test_failed_rows_dropped_from_mean(self):
+        rows = [
+            make_row("exact", 10, 100.0, seed=0),
+            make_row("exact", 10, None, seed=1, status="timeout"),
+        ]
+        out = mean_rows(rows, x_key="n")
+        assert out[0].objective == pytest.approx(100.0)
+        assert out[0].status == "ok"
+
+    def test_all_failed_group(self):
+        rows = [
+            make_row("exact", 10, None, seed=0, status="timeout"),
+            make_row("exact", 10, None, seed=1, status="timeout"),
+        ]
+        out = mean_rows(rows, x_key="n")
+        assert out[0].objective is None
+        assert out[0].status == "error"
+
+    def test_runtime_averaged(self):
+        rows = [
+            make_row("wma", 10, 1.0, runtime=0.2, seed=0),
+            make_row("wma", 10, 1.0, runtime=0.4, seed=1),
+        ]
+        out = mean_rows(rows, x_key="n")
+        assert out[0].runtime_sec == pytest.approx(0.3)
+
+    def test_order_preserved(self):
+        rows = [
+            make_row("wma", 20, 1.0),
+            make_row("wma", 10, 1.0),
+            make_row("hilbert", 20, 1.0),
+        ]
+        out = mean_rows(rows, x_key="n")
+        assert [(r.method, r.params["n"]) for r in out] == [
+            ("wma", 20),
+            ("wma", 10),
+            ("hilbert", 20),
+        ]

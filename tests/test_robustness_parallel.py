@@ -1,0 +1,117 @@
+"""Tests for the robustness analysis and the parallel sweep runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import solve
+from repro.analysis.robustness import (
+    DriftPoint,
+    drift_study,
+    reassignment_cost,
+    selection_regret,
+)
+from repro.bench.parallel import parallel_rows
+from repro.bench.reporting import sparkline
+from repro.core.instance import MCFSInstance
+from repro.datagen.instances import uniform_instance
+from repro.errors import MatchingError
+
+from tests.conftest import build_grid_network, build_random_instance
+
+
+def grid_instance() -> MCFSInstance:
+    return MCFSInstance(
+        network=build_grid_network(5, 5),
+        customers=(0, 4, 20, 24),
+        facility_nodes=(6, 12, 18),
+        capacities=(3, 3, 3),
+        k=2,
+    )
+
+
+class TestReassignment:
+    def test_same_customers_match_solution(self):
+        inst = grid_instance()
+        sol = solve(inst, method="wma")
+        cost = reassignment_cost(inst, sol.selected, inst.customers)
+        assert cost == pytest.approx(sol.objective)
+
+    def test_infeasible_population_raises(self):
+        inst = grid_instance()
+        sol = solve(inst, method="wma")
+        too_many = list(inst.customers) * 3  # 12 > capacity 6
+        with pytest.raises(MatchingError):
+            reassignment_cost(inst, sol.selected, too_many)
+
+    def test_zero_regret_without_drift(self):
+        inst = grid_instance()
+        sol = solve(inst, method="exact")
+        regret = selection_regret(inst, sol.selected, inst.customers)
+        # Fresh WMA cannot beat the exact selection.
+        assert regret <= 1e-9
+
+
+class TestDriftStudy:
+    def test_points_structure(self):
+        inst = build_random_instance(2, cap_range=(4, 8))
+        sol = solve(inst, method="wma")
+        points = drift_study(
+            inst, sol, fractions=(0.0, 0.5), seed=1
+        )
+        assert [p.drift_fraction for p in points] == [0.0, 0.5]
+        assert isinstance(points[0], DriftPoint)
+        # Zero drift: stale equals the solution's own objective.
+        assert points[0].stale_cost == pytest.approx(sol.objective)
+        assert points[0].regret is not None
+        assert points[0].regret >= -1e-6
+
+    def test_regret_nonnegative_when_fresh_is_exact(self):
+        inst = build_random_instance(3, cap_range=(4, 8))
+        sol = solve(inst, method="wma")
+        from repro.baselines.exact import solve_exact
+
+        points = drift_study(
+            inst, sol, fractions=(0.5,), seed=2, solver=solve_exact
+        )
+        if points[0].regret is not None:
+            assert points[0].regret >= -1e-6
+
+
+class TestParallelRows:
+    def test_matches_sequential(self):
+        cases = [
+            ({"n": 96}, uniform_instance(96, seed=1)),
+            ({"n": 128}, uniform_instance(128, seed=1)),
+        ]
+        rows = parallel_rows(cases, ["wma", "hilbert"], max_workers=2)
+        assert len(rows) == 4
+        by_key = {(r.method, r.params["n"]): r for r in rows}
+        # Cross-check one value against a direct solve.
+        direct = solve(cases[0][1], method="wma")
+        assert by_key[("wma", 96)].objective == pytest.approx(
+            direct.objective
+        )
+        assert all(r.status == "ok" for r in rows)
+
+    def test_exact_kwargs_forwarded(self):
+        cases = [({"n": 96}, uniform_instance(96, seed=2))]
+        rows = parallel_rows(
+            cases, ["exact"], max_workers=1, exact_time_limit=30.0
+        )
+        assert rows[0].status in ("ok", "timeout")
+
+
+class TestSparkline:
+    def test_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

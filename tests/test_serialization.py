@@ -1,0 +1,103 @@
+"""Tests for disk round-trips of networks, instances, and solutions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solution import MCFSSolution
+from repro.io.serialization import (
+    load_instance,
+    load_network,
+    load_solution,
+    save_instance,
+    save_network,
+    save_solution,
+)
+
+from tests.conftest import build_random_instance, build_random_network
+from repro.network.graph import Network
+
+
+class TestNetworkRoundTrip:
+    def test_round_trip_with_coords(self, tmp_path):
+        g = build_random_network(30, seed=1)
+        path = tmp_path / "net.npz"
+        save_network(g, path)
+        back = load_network(path)
+        assert back.n_nodes == g.n_nodes
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert np.allclose(back.coords, g.coords)
+        assert back.directed == g.directed
+
+    def test_round_trip_without_coords(self, tmp_path):
+        g = Network(3, [(0, 1, 1.0), (1, 2, 2.5)])
+        path = tmp_path / "net.npz"
+        save_network(g, path)
+        back = load_network(path)
+        assert not back.has_coords
+        assert sorted(back.edges()) == sorted(g.edges())
+
+    def test_round_trip_directed(self, tmp_path):
+        g = Network(3, [(0, 1, 1.0), (2, 0, 2.0)], directed=True)
+        path = tmp_path / "net.npz"
+        save_network(g, path)
+        assert load_network(path).directed
+
+
+class TestInstanceRoundTrip:
+    def test_round_trip(self, tmp_path):
+        inst = build_random_instance(4)
+        path = tmp_path / "instance.npz"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert back.customers == inst.customers
+        assert back.facility_nodes == inst.facility_nodes
+        assert back.capacities == inst.capacities
+        assert back.k == inst.k
+        assert back.name == inst.name
+        assert sorted(back.network.edges()) == sorted(inst.network.edges())
+
+    def test_solvable_after_reload(self, tmp_path):
+        from repro import solve, validate_solution
+
+        inst = build_random_instance(6, cap_range=(3, 6))
+        path = tmp_path / "instance.npz"
+        save_instance(inst, path)
+        back = load_instance(path)
+        sol = solve(back, method="wma")
+        validate_solution(back, sol)
+
+
+class TestSolutionRoundTrip:
+    def test_round_trip(self, tmp_path):
+        sol = MCFSSolution(
+            selected=(1, 4),
+            assignment=(1, 4, 4),
+            objective=12.5,
+            meta={"algorithm": "wma", "runtime_sec": 0.25, "iterations": 3},
+        )
+        path = tmp_path / "solution.json"
+        save_solution(sol, path)
+        back = load_solution(path)
+        assert back.selected == sol.selected
+        assert back.assignment == sol.assignment
+        assert back.objective == sol.objective
+        assert back.meta["algorithm"] == "wma"
+
+    def test_numpy_meta_serializable(self, tmp_path):
+        sol = MCFSSolution(
+            selected=(0,),
+            assignment=(0,),
+            objective=1.0,
+            meta={
+                "count": np.int64(5),
+                "ratio": np.float64(0.5),
+                "nested": {"vals": [np.int64(1)]},
+            },
+        )
+        path = tmp_path / "solution.json"
+        save_solution(sol, path)
+        back = load_solution(path)
+        assert back.meta["count"] == 5
+        assert back.meta["nested"]["vals"] == [1]

@@ -1,0 +1,84 @@
+"""Failure-injection tests for the serialization layer."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.serialization import (
+    load_instance,
+    load_network,
+    load_solution,
+    save_instance,
+    save_network,
+    save_solution,
+)
+from repro.core.solution import MCFSSolution
+
+from tests.conftest import build_line_network, build_random_instance
+
+
+class TestVersionChecks:
+    def test_network_future_version_rejected(self, tmp_path):
+        path = tmp_path / "net.npz"
+        save_network(build_line_network(4), path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["version"] = np.int64(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_network(path)
+
+    def test_instance_future_version_rejected(self, tmp_path):
+        path = tmp_path / "inst.npz"
+        save_instance(build_random_instance(0), path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["version"] = np.int64(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_instance(path)
+
+    def test_solution_future_version_rejected(self, tmp_path):
+        path = tmp_path / "sol.json"
+        save_solution(
+            MCFSSolution(selected=(0,), assignment=(0,), objective=1.0), path
+        )
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_solution(path)
+
+
+class TestCorruptFiles:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_network(tmp_path / "nope.npz")
+
+    def test_non_npz_content(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(Exception):
+            load_network(path)
+
+    def test_solution_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_solution(path)
+
+    def test_instance_structural_validation_on_load(self, tmp_path):
+        # Corrupt the capacities so the instance constructor must reject.
+        path = tmp_path / "inst.npz"
+        save_instance(build_random_instance(0), path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["capacities"] = np.zeros_like(payload["capacities"])
+        np.savez_compressed(path, **payload)
+        from repro.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            load_instance(path)

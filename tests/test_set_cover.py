@@ -1,0 +1,146 @@
+"""Tests for the greedy set-cover routine (Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.set_cover import check_cover
+
+
+def reference_greedy(sigma, m, k, last_used, tie_breaking="lru"):
+    """Straightforward (non-lazy) greedy reference implementation."""
+    covered = set()
+    selected = []
+    candidates = set(range(len(sigma)))
+    while len(selected) < k:
+        best = None
+        best_key = None
+        for j in sorted(candidates):
+            gain = len(sigma[j] - covered)
+            if gain == 0:
+                continue
+            tie = last_used[j] if tie_breaking == "lru" else 0
+            key = (-gain, tie, j)
+            if best_key is None or key < best_key:
+                best, best_key = j, key
+        if best is None:
+            break
+        selected.append(best)
+        candidates.discard(best)
+        covered |= sigma[best]
+        if len(covered) == m:
+            break
+    return selected, covered
+
+
+class TestCheckCover:
+    def test_full_cover_detected(self):
+        sigma = [{0, 1}, {2}, set()]
+        result = check_cover(sigma, 3, 2, [-1, -1, -1])
+        assert result.fully_covered
+        assert sorted(result.selected) == [0, 1]
+        assert result.covered == [True, True, True]
+
+    def test_partial_cover(self):
+        sigma = [{0}, {1}, set()]
+        result = check_cover(sigma, 3, 2, [-1, -1, -1])
+        assert not result.fully_covered
+        assert result.covered == [True, True, False]
+
+    def test_marginal_gain_preferred_over_raw_size(self):
+        # Facility 0 covers {0,1,2}; facility 1 covers {0,1,3}; facility 2
+        # covers {3}.  After selecting 0, facility 1's marginal gain is 1,
+        # tying facility 2 -- lower last_used wins.
+        sigma = [{0, 1, 2}, {0, 1, 3}, {3}]
+        result = check_cover(sigma, 4, 2, [-1, 5, 0])
+        assert result.selected[0] == 0
+        assert result.selected[1] == 2  # least recently used wins the tie
+
+    def test_lru_tie_breaking(self):
+        sigma = [{0}, {1}]
+        result = check_cover(sigma, 3, 1, [3, 1])
+        assert result.selected == [1]
+
+    def test_index_tie_breaking(self):
+        sigma = [{0}, {1}]
+        result = check_cover(sigma, 3, 1, [3, 1], tie_breaking="index")
+        assert result.selected == [0]
+
+    def test_unknown_tie_breaking_rejected(self):
+        with pytest.raises(ValueError):
+            check_cover([{0}], 1, 1, [-1], tie_breaking="bogus")
+
+    def test_cost_tie_breaking(self):
+        # Equal gains; the cheaper service cluster wins.
+        sigma = [{0}, {1}]
+        result = check_cover(
+            sigma, 3, 1, [-1, -1], tie_breaking="cost", costs=[5.0, 2.0]
+        )
+        assert result.selected == [1]
+
+    def test_cost_tie_breaking_requires_costs(self):
+        with pytest.raises(ValueError, match="costs"):
+            check_cover([{0}], 1, 1, [-1], tie_breaking="cost")
+
+    def test_cost_never_overrides_gain(self):
+        # A bigger gain beats any cost.
+        sigma = [{0, 1}, {2}]
+        result = check_cover(
+            sigma, 3, 1, [-1, -1], tie_breaking="cost", costs=[100.0, 0.0]
+        )
+        assert result.selected == [0]
+
+    def test_zero_gain_facilities_skipped(self):
+        sigma = [{0, 1}, set(), set()]
+        result = check_cover(sigma, 2, 3, [-1, -1, -1])
+        assert result.selected == [0]
+        assert result.fully_covered
+
+    def test_budget_respected(self):
+        sigma = [{0}, {1}, {2}, {3}]
+        result = check_cover(sigma, 4, 2, [-1] * 4)
+        assert len(result.selected) == 2
+        assert not result.fully_covered
+
+    def test_empty_sigma(self):
+        result = check_cover([set(), set()], 2, 1, [-1, -1])
+        assert result.selected == []
+        assert not result.fully_covered
+
+    def test_greedy_picks_biggest_first(self):
+        sigma = [{0}, {1, 2, 3}, {4, 5}]
+        result = check_cover(sigma, 6, 3, [-1] * 3)
+        assert result.selected[0] == 1
+        assert result.selected[1] == 2
+        assert result.selected[2] == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    n_fac=st.integers(1, 8),
+    m=st.integers(1, 12),
+    k=st.integers(1, 8),
+)
+def test_property_lazy_greedy_matches_reference(data, n_fac, m, k):
+    """The lazy-heap implementation equals plain greedy selection."""
+    sigma = [
+        set(
+            data.draw(
+                st.lists(st.integers(0, m - 1), max_size=m, unique=True)
+            )
+        )
+        for _ in range(n_fac)
+    ]
+    last_used = data.draw(
+        st.lists(
+            st.integers(-1, 5), min_size=n_fac, max_size=n_fac
+        )
+    )
+    result = check_cover(sigma, m, k, last_used)
+    ref_selected, ref_covered = reference_greedy(sigma, m, k, last_used)
+    assert result.selected == ref_selected
+    assert set(i for i, c in enumerate(result.covered) if c) == ref_covered
+    assert result.fully_covered == (len(ref_covered) == m)

@@ -1,0 +1,56 @@
+"""Tests for the solution data model."""
+
+from __future__ import annotations
+
+from repro.core.solution import MCFSSolution
+
+
+class TestSolution:
+    def test_coercion(self):
+        sol = MCFSSolution(
+            selected=[1.0, 2], assignment=[1, 1, 2], objective="5"
+        )
+        assert sol.selected == (1, 2)
+        assert sol.assignment == (1, 1, 2)
+        assert sol.objective == 5.0
+
+    def test_algorithm_and_runtime_from_meta(self):
+        sol = MCFSSolution(
+            selected=(0,),
+            assignment=(0,),
+            objective=1.0,
+            meta={"algorithm": "wma", "runtime_sec": 2.5},
+        )
+        assert sol.algorithm == "wma"
+        assert sol.runtime_sec == 2.5
+
+    def test_defaults_without_meta(self):
+        sol = MCFSSolution(selected=(0,), assignment=(0,), objective=1.0)
+        assert sol.algorithm == "unknown"
+        assert sol.runtime_sec == 0.0
+
+    def test_load_per_facility(self):
+        sol = MCFSSolution(
+            selected=(0, 3), assignment=(0, 0, 3), objective=1.0
+        )
+        assert sol.load_per_facility() == {0: 2, 3: 1}
+
+    def test_load_counts_unused_selected(self):
+        sol = MCFSSolution(selected=(0, 3), assignment=(0, 0), objective=1.0)
+        assert sol.load_per_facility() == {0: 2, 3: 0}
+
+    def test_summary_row(self):
+        sol = MCFSSolution(
+            selected=(0, 3),
+            assignment=(0, 0, 3),
+            objective=12.3456,
+            meta={"algorithm": "hilbert", "runtime_sec": 0.5},
+        )
+        row = sol.summary_row()
+        assert row["algorithm"] == "hilbert"
+        assert row["objective"] == 12.35
+        assert row["facilities_used"] == 2
+
+    def test_repr(self):
+        sol = MCFSSolution(selected=(0,), assignment=(0,), objective=1.0)
+        assert "MCFSSolution" in repr(sol)

@@ -1,0 +1,262 @@
+"""Tests for the SSPA matcher: optimality, rewiring, pruning thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import MatchingError
+from repro.flow.bipartite import BipartiteState
+from repro.flow.sspa import ThresholdRule, assign_all, find_pair
+from repro.network.dijkstra import distance_matrix
+from repro.network.graph import Network
+
+from tests.conftest import (
+    build_line_network,
+    build_random_network,
+    build_two_component_network,
+)
+
+
+def hungarian_reference(network, customers, facilities, capacities) -> float:
+    """Optimal assignment cost by capacity expansion + Hungarian."""
+    if sum(capacities) < len(customers):
+        # Rectangular LSA would silently drop customers.
+        return float("inf")
+    mat = distance_matrix(network, customers, facilities)
+    cols = []
+    for j, cap in enumerate(capacities):
+        for _ in range(cap):
+            cols.append(mat[:, j])
+    expanded = np.array(cols).T
+    big = 1e9
+    filled = np.where(np.isfinite(expanded), expanded, big)
+    rows, col_idx = linear_sum_assignment(filled)
+    total = filled[rows, col_idx].sum()
+    return float(total) if total < big / 2 else float("inf")
+
+
+class TestAssignAll:
+    def test_simple_line(self):
+        g = build_line_network(10)
+        result = assign_all(g, [1, 8], [0, 9], [1, 1])
+        assert result.cost == pytest.approx(2.0)
+        assert result.assignment == [0, 1]
+
+    def test_capacity_forces_split(self):
+        g = build_line_network(10)
+        # Both customers closest to facility 0, but it can take only one.
+        result = assign_all(g, [1, 2], [0, 9], [1, 5])
+        assert sorted(result.assignment) == [0, 1]
+        assert result.cost == pytest.approx(min(1 + 7, 2 + 8))
+
+    def test_matches_hungarian_on_random_instances(self):
+        for seed in range(20):
+            g = build_random_network(35, seed=seed)
+            rng = np.random.default_rng(seed + 99)
+            customers = [int(v) for v in rng.choice(35, size=7, replace=True)]
+            facilities = sorted(
+                int(v) for v in rng.choice(35, size=9, replace=False)
+            )
+            capacities = [int(c) for c in rng.integers(1, 4, size=9)]
+            ref = hungarian_reference(g, customers, facilities, capacities)
+            if np.isinf(ref):
+                with pytest.raises(MatchingError):
+                    assign_all(g, customers, facilities, capacities)
+                continue
+            result = assign_all(g, customers, facilities, capacities)
+            assert result.cost == pytest.approx(ref, rel=1e-9)
+
+    def test_infeasible_capacity_raises(self):
+        g = build_line_network(5)
+        with pytest.raises(MatchingError):
+            assign_all(g, [0, 1, 2], [4], [2])
+
+    def test_unreachable_customer_raises(self):
+        g = build_two_component_network()
+        with pytest.raises(MatchingError):
+            assign_all(g, [0, 3], [1], [5])
+
+    def test_colocated_customer_and_facility(self):
+        g = build_line_network(5)
+        result = assign_all(g, [2], [2], [1])
+        assert result.cost == pytest.approx(0.0)
+
+    def test_duplicate_customers_share_stream(self):
+        g = build_line_network(10)
+        result = assign_all(g, [5, 5, 5], [4, 6, 0], [1, 1, 1])
+        assert result.cost == pytest.approx(1 + 1 + 5)
+        assert sorted(result.assignment) == [0, 1, 2]
+
+
+class TestRewiring:
+    def test_rewiring_beats_greedy(self):
+        """The Section IV-B phenomenon: SSPA rewires, greedy does not.
+
+        Customer A sits near facility X; customer B can reach X cheaply
+        but its alternative is expensive, while A has a cheap alternative
+        Y.  Greedy (A first) locks X and forces B onto the expensive
+        path; SSPA reassigns A to Y.
+        """
+        #    X --1-- A --1.5-- Y
+        #    |
+        #    2
+        #    |
+        #    B --10-- Z(unused)
+        coords = np.zeros((5, 2))
+        g = Network(
+            5,
+            [
+                (0, 1, 1.0),   # X - A
+                (1, 2, 1.5),   # A - Y
+                (0, 3, 2.0),   # X - B
+                (3, 4, 10.0),  # B - Z
+            ],
+            coords=coords,
+        )
+        customers = [1, 3]  # A, B
+        facilities = [0, 2]  # X, Y (Z intentionally not a candidate)
+        result = assign_all(g, customers, facilities, [1, 1])
+        # Optimal: A -> Y (1.5), B -> X (2.0).
+        assert result.cost == pytest.approx(3.5)
+        assert result.assignment == [1, 0]
+
+    def test_incremental_order_independent(self):
+        """Total cost equals Hungarian no matter the customer order."""
+        g = build_random_network(30, seed=3)
+        customers = [0, 5, 9, 14, 20]
+        facilities = [2, 11, 25]
+        capacities = [2, 2, 2]
+        ref = hungarian_reference(g, customers, facilities, capacities)
+        for perm_seed in range(5):
+            rng = np.random.default_rng(perm_seed)
+            order = rng.permutation(len(customers))
+            state = BipartiteState(
+                g,
+                [customers[i] for i in order],
+                facilities,
+                capacities,
+            )
+            for i in range(state.m):
+                find_pair(state, i)
+            assert state.total_cost() == pytest.approx(ref, rel=1e-9)
+
+
+class TestFindPair:
+    def test_demand_two_distinct_facilities(self):
+        g = build_line_network(10)
+        state = BipartiteState(g, [5], [4, 6, 0], [1, 1, 1])
+        find_pair(state, 0)
+        find_pair(state, 0)
+        assert state.assignment_count(0) == 2
+        nodes = sorted(state.facility_nodes[j] for j in state.matched[0])
+        assert nodes == [4, 6]
+
+    def test_find_pair_raises_when_exhausted(self):
+        g = build_line_network(10)
+        state = BipartiteState(g, [5], [4], [1])
+        find_pair(state, 0)
+        with pytest.raises(MatchingError):
+            find_pair(state, 0)
+
+    def test_potentials_stay_nonnegative(self):
+        g = build_random_network(30, seed=8)
+        state = BipartiteState(
+            g, [0, 4, 9, 13], [3, 17, 26], [2, 1, 1]
+        )
+        for i in range(4):
+            find_pair(state, i)
+            assert all(p >= -1e-9 for p in state.customer_potential)
+            assert all(p >= -1e-9 for p in state.facility_potential)
+
+    def test_lazy_materialization_prunes(self):
+        """Far facilities should not be revealed when near ones suffice."""
+        g = build_line_network(100)
+        facilities = list(range(0, 100, 10))
+        state = BipartiteState(g, [0], facilities, [1] * len(facilities))
+        find_pair(state, 0)
+        # Customer 0 matches its collocated facility; the pruning bound
+        # must avoid revealing the whole candidate set.
+        assert state.edges_materialized <= 3
+
+
+class TestThresholdRules:
+    def test_both_rules_reach_optimal_cost(self):
+        for seed in range(10):
+            g = build_random_network(30, seed=seed)
+            rng = np.random.default_rng(seed)
+            customers = [int(v) for v in rng.choice(30, size=6, replace=True)]
+            facilities = sorted(
+                int(v) for v in rng.choice(30, size=8, replace=False)
+            )
+            capacities = [int(c) for c in rng.integers(1, 4, size=8)]
+            try:
+                r1 = assign_all(
+                    g, customers, facilities, capacities,
+                    rule=ThresholdRule.THEOREM1,
+                )
+            except MatchingError:
+                with pytest.raises(MatchingError):
+                    assign_all(
+                        g, customers, facilities, capacities,
+                        rule=ThresholdRule.TAU_PRIME,
+                    )
+                continue
+            r2 = assign_all(
+                g, customers, facilities, capacities,
+                rule=ThresholdRule.TAU_PRIME,
+            )
+            assert r1.cost == pytest.approx(r2.cost, rel=1e-9)
+
+    def test_tau_prime_reveals_at_least_as_many_edges(self):
+        """Theorem 1's tighter bound never reveals more edges (Section V)."""
+        feasible = 0
+        for seed in range(12):
+            g = build_random_network(40, seed=seed)
+            rng = np.random.default_rng(seed + 5)
+            customers = [int(v) for v in rng.choice(40, size=8, replace=True)]
+            facilities = sorted(
+                int(v) for v in rng.choice(40, size=12, replace=False)
+            )
+            capacities = [2] * 12
+            try:
+                r1 = assign_all(
+                    g, customers, facilities, capacities,
+                    rule=ThresholdRule.THEOREM1,
+                )
+                r2 = assign_all(
+                    g, customers, facilities, capacities,
+                    rule=ThresholdRule.TAU_PRIME,
+                )
+            except MatchingError:
+                continue  # disconnected draw; direction check needs success
+            feasible += 1
+            assert (
+                r1.state.edges_materialized <= r2.state.edges_materialized
+            )
+        assert feasible >= 8
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    m=st.integers(2, 8),
+    l=st.integers(2, 8),
+)
+def test_property_sspa_matches_hungarian(seed, m, l):
+    """assign_all is optimal on arbitrary feasible random instances."""
+    g = build_random_network(25, seed=seed % 40)
+    rng = np.random.default_rng(seed)
+    customers = [int(v) for v in rng.choice(25, size=m, replace=True)]
+    facilities = sorted(int(v) for v in rng.choice(25, size=l, replace=False))
+    capacities = [int(c) for c in rng.integers(1, 4, size=l)]
+    ref = hungarian_reference(g, customers, facilities, capacities)
+    if np.isinf(ref):
+        with pytest.raises(MatchingError):
+            assign_all(g, customers, facilities, capacities)
+    else:
+        result = assign_all(g, customers, facilities, capacities)
+        assert result.cost == pytest.approx(ref, rel=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for induced subgraphs and instance restriction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import solve, validate_solution
+from repro.core.instance import MCFSInstance
+from repro.errors import GraphError, InvalidInstanceError
+from repro.network.graph import Network
+from repro.network.subgraph import (
+    giant_component_instance,
+    induced_subgraph,
+    largest_component,
+    restrict_instance,
+)
+
+from tests.conftest import (
+    build_line_network,
+    build_two_component_network,
+)
+
+
+class TestInducedSubgraph:
+    def test_basic(self):
+        g = build_line_network(6)
+        sub = induced_subgraph(g, [1, 2, 3])
+        assert sub.network.n_nodes == 3
+        assert sorted(sub.network.edges()) == [(0, 1, 1.0), (1, 2, 1.0)]
+        assert sub.to_sub == {1: 0, 2: 1, 3: 2}
+        assert sub.to_original.tolist() == [1, 2, 3]
+
+    def test_crossing_edges_dropped(self):
+        g = build_line_network(6)
+        sub = induced_subgraph(g, [0, 1, 4, 5])
+        assert sorted(sub.network.edges()) == [(0, 1, 1.0), (2, 3, 1.0)]
+        assert sub.network.stats().n_components == 2
+
+    def test_coords_carried(self):
+        g = build_line_network(5, spacing=2.0)
+        sub = induced_subgraph(g, [3, 4])
+        assert np.allclose(sub.network.coords, [[6.0, 0.0], [8.0, 0.0]])
+
+    def test_duplicates_rejected(self):
+        g = build_line_network(4)
+        with pytest.raises(GraphError, match="distinct"):
+            induced_subgraph(g, [1, 1])
+
+    def test_out_of_range_rejected(self):
+        g = build_line_network(4)
+        with pytest.raises(GraphError):
+            induced_subgraph(g, [99])
+
+    def test_directed_preserved(self):
+        g = Network(3, [(0, 1, 1.0), (1, 2, 1.0)], directed=True)
+        sub = induced_subgraph(g, [0, 1])
+        assert sub.network.directed
+        assert list(sub.network.neighbors(1)) == []
+
+
+class TestLargestComponent:
+    def test_picks_biggest(self):
+        g = Network(5, [(0, 1, 1.0), (1, 2, 1.0)])
+        sub = largest_component(g)
+        assert sub.network.n_nodes == 3
+        assert sorted(sub.to_original.tolist()) == [0, 1, 2]
+
+    def test_two_equal_triangles(self):
+        g = build_two_component_network()
+        sub = largest_component(g)
+        assert sub.network.n_nodes == 3
+
+
+class TestRestrictInstance:
+    def test_drops_outsiders(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 3),
+            facility_nodes=(2, 5),
+            capacities=(4, 4),
+            k=2,
+        )
+        sub = induced_subgraph(g, [0, 1, 2])
+        restricted = restrict_instance(inst, sub)
+        assert restricted.m == 2
+        assert restricted.l == 1
+        assert restricted.k == 1
+        sol = solve(restricted, method="wma")
+        validate_solution(restricted, sol)
+
+    def test_no_customers_rejected(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(3,),
+            facility_nodes=(2, 5),
+            capacities=(4, 4),
+            k=1,
+        )
+        sub = induced_subgraph(g, [0, 1, 2])
+        with pytest.raises(InvalidInstanceError, match="customers"):
+            restrict_instance(inst, sub)
+
+    def test_no_candidates_rejected(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 3),
+            facility_nodes=(5,),
+            capacities=(4,),
+            k=1,
+        )
+        sub = induced_subgraph(g, [0, 1, 2])
+        with pytest.raises(InvalidInstanceError, match="candidates"):
+            restrict_instance(inst, sub)
+
+    def test_giant_component_instance(self):
+        g = Network(
+            7,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (5, 6, 1.0)],
+            coords=np.zeros((7, 2)),
+        )
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 3, 5),
+            facility_nodes=(1, 6),
+            capacities=(4, 4),
+            k=2,
+        )
+        restricted = giant_component_instance(inst)
+        assert restricted.network.n_nodes == 4
+        assert restricted.m == 2  # customer 5 dropped
+        assert restricted.l == 1
+        sol = solve(restricted, method="wma")
+        validate_solution(restricted, sol)

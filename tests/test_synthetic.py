@@ -1,0 +1,127 @@
+"""Tests for the synthetic network generators (Section VII-B)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import (
+    clustered_network,
+    clustered_points,
+    connection_radius,
+    geometric_network,
+    uniform_network,
+    uniform_points,
+)
+
+
+class TestRadius:
+    def test_paper_formula(self):
+        assert connection_radius(100, 2.0, side=1000.0) == pytest.approx(
+            2.0 * 1000.0 / 10.0
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            connection_radius(0, 1.0)
+        with pytest.raises(ValueError):
+            connection_radius(10, -1.0)
+
+    def test_expected_degree_close_to_pi_alpha_squared(self):
+        """Measured average degree ~ pi * alpha^2 on uniform data."""
+        alpha = 1.5
+        g = uniform_network(1500, alpha, seed=0)
+        expected = math.pi * alpha * alpha
+        measured = g.stats().avg_degree
+        assert expected * 0.75 < measured < expected * 1.25
+
+
+class TestPoints:
+    def test_uniform_points_in_square(self):
+        rng = np.random.default_rng(0)
+        pts = uniform_points(500, rng, side=1000.0)
+        assert pts.shape == (500, 2)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 1000.0
+
+    def test_clustered_points_counts(self):
+        rng = np.random.default_rng(1)
+        pts, centers = clustered_points(103, 10, rng)
+        assert pts.shape == (103, 2)
+        assert centers.shape == (10, 2)
+
+    def test_clustered_points_clipped_to_square(self):
+        rng = np.random.default_rng(2)
+        pts, _ = clustered_points(500, 3, rng, side=100.0)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 100.0
+
+    def test_clustered_more_concentrated_than_uniform(self):
+        """Mean nearest-neighbor distance shrinks under clustering."""
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        uni = uniform_points(400, rng1)
+        clu, _ = clustered_points(400, 40, rng2)
+
+        def mean_nn(pts):
+            d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+            np.fill_diagonal(d2, np.inf)
+            return np.sqrt(d2.min(axis=1)).mean()
+
+        assert mean_nn(clu) < mean_nn(uni)
+
+    def test_invalid_cluster_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            clustered_points(5, 10, rng)
+        with pytest.raises(ValueError):
+            clustered_points(5, 0, rng)
+
+
+class TestGeometricNetwork:
+    def test_edges_within_radius_only(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        g = geometric_network(pts, radius=1.5)
+        assert sorted((u, v) for u, v, _ in g.edges()) == [(0, 1)]
+
+    def test_extra_edges_added(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        g = geometric_network(pts, radius=1.5, extra_edges=[(0, 2)])
+        assert sorted((u, v) for u, v, _ in g.edges()) == [(0, 1), (0, 2)]
+
+    def test_extra_edges_no_duplicates(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        g = geometric_network(pts, radius=1.5, extra_edges=[(0, 1), (1, 0)])
+        assert g.n_edges == 1
+
+    def test_coincident_points_get_positive_weight(self):
+        pts = np.zeros((2, 2))
+        g = geometric_network(pts, radius=1.0)
+        assert all(w > 0 for _, _, w in g.edges())
+
+
+class TestNetworks:
+    def test_uniform_network_deterministic(self):
+        a = uniform_network(200, 1.5, seed=4)
+        b = uniform_network(200, 1.5, seed=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_clustered_network_has_center_clique(self):
+        n, n_clusters = 150, 5
+        g = clustered_network(n, n_clusters, alpha=1.0, seed=0)
+        assert g.n_nodes == n + n_clusters
+        # Every pair of center nodes (appended last) must be connected.
+        centers = set(range(n, n + n_clusters))
+        center_edges = {
+            (u, v)
+            for u, v, _ in g.edges()
+            if u in centers and v in centers
+        }
+        assert len(center_edges) == n_clusters * (n_clusters - 1) // 2
+
+    def test_sparser_alpha_fragments_network(self):
+        dense = uniform_network(400, 2.0, seed=5)
+        sparse = uniform_network(400, 0.8, seed=5)
+        assert sparse.stats().n_components > dense.stats().n_components

@@ -1,0 +1,159 @@
+"""Tests for throughput-constrained assignment (extension)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import solve
+from repro.core.instance import MCFSInstance
+from repro.core.throughput import (
+    assign_with_throughput,
+    congestion_profile,
+)
+from repro.errors import InvalidInstanceError
+from repro.flow.mcf import FlowError
+from repro.flow.sspa import assign_all
+
+from tests.conftest import (
+    build_grid_network,
+    build_line_network,
+    build_random_instance,
+)
+
+
+def line_instance() -> MCFSInstance:
+    return MCFSInstance(
+        network=build_line_network(8),
+        customers=(0, 1, 2),
+        facility_nodes=(3, 7),
+        capacities=(3, 3),
+        k=2,
+    )
+
+
+class TestUnconstrained:
+    def test_matches_assign_all(self):
+        inst = line_instance()
+        res = assign_with_throughput(inst, [0, 1], float("inf"))
+        ref = assign_all(
+            inst.network,
+            list(inst.customers),
+            [inst.facility_nodes[j] for j in (0, 1)],
+            [inst.capacities[j] for j in (0, 1)],
+        )
+        assert res.cost == pytest.approx(ref.cost)
+        assert sum(res.facility_loads.values()) == inst.m
+
+    def test_matches_assign_all_on_random_instances(self):
+        for seed in range(5):
+            inst = build_random_instance(seed, cap_range=(4, 8))
+            sol = solve(inst, method="wma")
+            res = assign_with_throughput(
+                inst, sol.selected, float("inf")
+            )
+            assert res.cost == pytest.approx(sol.objective, rel=1e-9)
+
+
+class TestConstrained:
+    def test_tight_throughput_raises_cost(self):
+        # Customers cluster around the facility; throughput 1 per edge
+        # forces some units onto longer detours (the grid offers them).
+        g = build_grid_network(4, 4)
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 4),
+            facility_nodes=(5,),
+            capacities=(3,),
+            k=1,
+        )
+        free = assign_with_throughput(inst, [0], float("inf"))
+        tight = assign_with_throughput(inst, [0], 1.0)
+        assert tight.cost > free.cost
+        assert tight.max_edge_utilization <= 1.0 + 1e-9
+
+    def test_line_network_tight_throughput_infeasible(self):
+        # On a path graph there is no detour: three units cannot squeeze
+        # through a throughput-1 edge, so the problem is infeasible (not
+        # merely costlier).
+        inst = line_instance()
+        with pytest.raises(FlowError):
+            assign_with_throughput(inst, [0, 1], 1.0)
+
+    def test_infeasible_when_choked(self):
+        # Single exit edge with throughput below the customer count.
+        inst = MCFSInstance(
+            network=build_line_network(4),
+            customers=(0, 0, 0),
+            facility_nodes=(3,),
+            capacities=(5,),
+            k=1,
+        )
+        with pytest.raises(FlowError):
+            assign_with_throughput(inst, [0], 2.0)
+
+    def test_grid_reroutes_around_congestion(self):
+        # On a grid there are alternative routes; tight throughput must
+        # stay feasible but cost more.
+        g = build_grid_network(4, 4)
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 4, 5),
+            facility_nodes=(15,),
+            capacities=(8,),
+            k=1,
+        )
+        free = assign_with_throughput(inst, [0], float("inf"))
+        tight = assign_with_throughput(inst, [0], 2.0)
+        assert tight.cost >= free.cost
+        assert sum(tight.facility_loads.values()) == 4
+
+    def test_loads_respect_capacity(self):
+        g = build_grid_network(4, 4)
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 4, 5, 10),
+            facility_nodes=(5, 15),
+            capacities=(3, 3),
+            k=2,
+        )
+        res = assign_with_throughput(inst, [0, 1], 2.0)
+        for j, load in res.facility_loads.items():
+            assert load <= inst.capacities[j]
+        assert sum(res.facility_loads.values()) == inst.m
+
+    def test_invalid_inputs(self):
+        inst = line_instance()
+        with pytest.raises(InvalidInstanceError):
+            assign_with_throughput(inst, [], 1.0)
+        with pytest.raises(FlowError):
+            assign_with_throughput(inst, [0], 0.0)
+
+
+class TestCongestionProfile:
+    def test_monotone_cost(self):
+        g = build_grid_network(4, 4)
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 4),
+            facility_nodes=(5,),
+            capacities=(3,),
+            k=1,
+        )
+        rows = congestion_profile(inst, [0], [math.inf, 2.0, 1.0])
+        costs = [r["cost"] for r in rows if r["cost"] is not None]
+        assert costs == sorted(costs)
+        assert rows[0]["vs_unconstrained"] == pytest.approx(1.0)
+
+    def test_infeasible_point_reported(self):
+        inst = MCFSInstance(
+            network=build_line_network(4),
+            customers=(0, 0, 0),
+            facility_nodes=(3,),
+            capacities=(5,),
+            k=1,
+        )
+        rows = congestion_profile(inst, [0], [math.inf, 1.0])
+        assert rows[0]["cost"] is not None
+        assert rows[1]["cost"] is None

@@ -1,0 +1,88 @@
+"""Tests for the urban (Table III proxy) network generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.urban import (
+    city_catalog,
+    grid_city,
+    organic_city,
+    radial_city,
+)
+
+
+class TestGridCity:
+    def test_dimensions(self):
+        g = grid_city(5, 7, drop_rate=0.0)
+        assert g.n_nodes == 35
+        # Full grid: 5*6 + 4*7 = 58 edges.
+        assert g.n_edges == 58
+
+    def test_drop_rate_reduces_edges(self):
+        full = grid_city(10, 10, drop_rate=0.0, seed=1)
+        dropped = grid_city(10, 10, drop_rate=0.3, seed=1)
+        assert dropped.n_edges < full.n_edges
+
+    def test_has_coords_in_meters(self):
+        g = grid_city(4, 4, spacing=100.0, jitter=0.0)
+        assert g.has_coords
+        assert g.euclidean(0, 1) == pytest.approx(100.0)
+
+    def test_deterministic(self):
+        a = grid_city(6, 6, seed=3)
+        b = grid_city(6, 6, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestRadialCity:
+    def test_node_count(self):
+        g = radial_city(4, 10, drop_rate=0.0)
+        assert g.n_nodes == 1 + 4 * 10
+
+    def test_rings_and_spokes_connected(self):
+        g = radial_city(3, 8, drop_rate=0.0, jitter=0.0)
+        # Drop-free radial city is connected.
+        assert g.stats().n_components == 1
+
+    def test_center_links_to_first_ring(self):
+        g = radial_city(2, 6, drop_rate=0.0)
+        assert g.degree(0) == 6
+
+
+class TestOrganicCity:
+    def test_size_and_low_degree(self):
+        g = organic_city(300, seed=2)
+        assert g.n_nodes == 300
+        stats = g.stats()
+        # Table III signature: low average degree.
+        assert 1.5 <= stats.avg_degree <= 4.0
+
+    def test_deterministic(self):
+        a = organic_city(150, seed=9)
+        b = organic_city(150, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestCatalog:
+    def test_four_cities(self):
+        catalog = city_catalog(scale=0.1)
+        assert set(catalog) == {"aalborg", "riga", "copenhagen", "las_vegas"}
+
+    def test_relative_sizes_match_table3(self):
+        catalog = city_catalog(scale=0.15)
+        assert (
+            catalog["aalborg"].n_nodes
+            < catalog["riga"].n_nodes
+        )
+        assert catalog["las_vegas"].n_nodes > catalog["aalborg"].n_nodes
+
+    def test_degree_signature(self):
+        catalog = city_catalog(scale=0.15)
+        for name, network in catalog.items():
+            avg = network.stats().avg_degree
+            assert 1.5 <= avg <= 4.5, f"{name} degree {avg} out of range"
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            city_catalog(scale=0.0)

@@ -1,0 +1,146 @@
+"""Tests for solution validation and objective evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import MCFSInstance
+from repro.core.solution import MCFSSolution
+from repro.core.validation import (
+    check_feasibility,
+    evaluate_objective,
+    is_feasible,
+    validate_solution,
+)
+from repro.errors import InfeasibleInstanceError, InvalidInstanceError
+
+from tests.conftest import build_line_network, build_two_component_network
+
+
+def line_instance(**overrides) -> MCFSInstance:
+    defaults = dict(
+        network=build_line_network(10),
+        customers=(1, 3, 8),
+        facility_nodes=(0, 4, 9),
+        capacities=(2, 2, 2),
+        k=2,
+    )
+    defaults.update(overrides)
+    return MCFSInstance(**defaults)
+
+
+def good_solution() -> MCFSSolution:
+    # customers 1,3 -> facility at 4 (d=3+1), customer 8 -> 9 (d=1).
+    return MCFSSolution(
+        selected=(1, 2), assignment=(1, 1, 2), objective=5.0
+    )
+
+
+class TestEvaluateObjective:
+    def test_line_distances(self):
+        inst = line_instance()
+        assert evaluate_objective(inst, (1, 1, 2)) == pytest.approx(5.0)
+
+    def test_all_to_one(self):
+        inst = line_instance(capacities=(9, 9, 9), k=1)
+        assert evaluate_objective(inst, (0, 0, 0)) == pytest.approx(1 + 3 + 8)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="length"):
+            evaluate_objective(line_instance(), (0, 0))
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="facility index"):
+            evaluate_objective(line_instance(), (0, 0, 7))
+
+    def test_unreachable_assignment_rejected(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 3),
+            facility_nodes=(1, 4),
+            capacities=(5, 5),
+            k=2,
+        )
+        with pytest.raises(InfeasibleInstanceError, match="reach"):
+            evaluate_objective(inst, (0, 0))
+
+
+class TestValidateSolution:
+    def test_accepts_valid(self):
+        validate_solution(line_instance(), good_solution())
+
+    def test_rejects_duplicate_selected(self):
+        sol = MCFSSolution(selected=(1, 1), assignment=(1, 1, 1), objective=1.0)
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            validate_solution(line_instance(), sol)
+
+    def test_rejects_too_many_selected(self):
+        sol = MCFSSolution(
+            selected=(0, 1, 2), assignment=(0, 1, 2), objective=3.0
+        )
+        with pytest.raises(InvalidInstanceError, match="k="):
+            validate_solution(line_instance(), sol)
+
+    def test_rejects_out_of_range_selected(self):
+        sol = MCFSSolution(selected=(7,), assignment=(7, 7, 7), objective=0.0)
+        with pytest.raises(InvalidInstanceError, match="out of range"):
+            validate_solution(line_instance(), sol)
+
+    def test_rejects_assignment_to_unselected(self):
+        sol = MCFSSolution(selected=(1,), assignment=(1, 1, 2), objective=5.0)
+        with pytest.raises(InvalidInstanceError, match="unselected"):
+            validate_solution(line_instance(), sol)
+
+    def test_rejects_capacity_violation(self):
+        inst = line_instance(capacities=(2, 1, 2))
+        sol = MCFSSolution(selected=(1, 2), assignment=(1, 1, 2), objective=5.0)
+        with pytest.raises(InvalidInstanceError, match="capacity"):
+            validate_solution(inst, sol)
+
+    def test_rejects_wrong_objective(self):
+        sol = MCFSSolution(selected=(1, 2), assignment=(1, 1, 2), objective=999.0)
+        with pytest.raises(InvalidInstanceError, match="objective"):
+            validate_solution(line_instance(), sol)
+
+    def test_rejects_wrong_assignment_length(self):
+        sol = MCFSSolution(selected=(1,), assignment=(1, 1), objective=4.0)
+        with pytest.raises(InvalidInstanceError, match="length"):
+            validate_solution(line_instance(), sol)
+
+
+class TestFeasibility:
+    def test_feasible_instance_passes(self):
+        check_feasibility(line_instance())
+        assert is_feasible(line_instance())
+
+    def test_budget_below_component_minimum(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 3),
+            facility_nodes=(1, 4),
+            capacities=(5, 5),
+            k=1,
+        )
+        with pytest.raises(InfeasibleInstanceError, match="budget"):
+            check_feasibility(inst)
+        assert not is_feasible(inst)
+
+    def test_component_capacity_shortfall(self):
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 2, 3),
+            facility_nodes=(1, 4),
+            capacities=(2, 1),
+            k=2,
+        )
+        # Second component: 1 customer, capacity 1 -- fine; first
+        # component: 3 customers, capacity 2 -- impossible.
+        with pytest.raises(InfeasibleInstanceError, match="capacity"):
+            check_feasibility(inst)
+
+    def test_tight_but_feasible(self):
+        inst = line_instance(capacities=(1, 1, 1), k=3)
+        check_feasibility(inst)

@@ -1,0 +1,84 @@
+"""Tests for network Voronoi partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.network.dijkstra import distance_matrix
+from repro.network.voronoi import voronoi_cells
+
+from tests.conftest import (
+    build_grid_network,
+    build_line_network,
+    build_random_network,
+    build_two_component_network,
+)
+
+
+class TestVoronoi:
+    def test_line_partition(self):
+        g = build_line_network(7)
+        part = voronoi_cells(g, [0, 6])
+        assert part.label[1] == 0
+        assert part.label[5] == 1
+        assert part.dist[5] == pytest.approx(1.0)
+
+    def test_labels_match_nearest_source(self):
+        g = build_random_network(40, seed=5)
+        sources = [0, 13, 27]
+        part = voronoi_cells(g, sources)
+        mat = distance_matrix(g, sources, list(range(40)))
+        for v in range(40):
+            col = mat[:, v]
+            if not np.isfinite(col).any():
+                assert part.label[v] == -1
+                continue
+            assert part.dist[v] == pytest.approx(col.min())
+            # Ties allowed: the label must achieve the minimum.
+            assert col[part.label[v]] == pytest.approx(col.min())
+
+    def test_unreachable_labelled_minus_one(self):
+        g = build_two_component_network()
+        part = voronoi_cells(g, [0])
+        assert part.label[4] == -1
+        assert part.label[1] == 0
+
+    def test_cell_members(self):
+        g = build_line_network(7)
+        part = voronoi_cells(g, [0, 6])
+        cell0 = set(part.cell(0).tolist())
+        cell1 = set(part.cell(1).tolist())
+        assert cell0 | cell1 == set(range(7))
+        assert cell0 & cell1 == set()
+
+    def test_adjacency(self):
+        g = build_line_network(7)
+        part = voronoi_cells(g, [0, 6])
+        adj = part.adjacency(g)
+        assert adj[0] == {1}
+        assert adj[1] == {0}
+
+    def test_adjacency_grid_three_cells(self):
+        g = build_grid_network(4, 4)
+        part = voronoi_cells(g, [0, 3, 15])
+        adj = part.adjacency(g)
+        # Every cell touches at least one other on a connected grid.
+        assert all(neighbors for neighbors in adj.values())
+
+    def test_requires_sources(self):
+        g = build_line_network(3)
+        with pytest.raises(GraphError):
+            voronoi_cells(g, [])
+
+    def test_source_out_of_range(self):
+        g = build_line_network(3)
+        with pytest.raises(GraphError):
+            voronoi_cells(g, [99])
+
+    def test_duplicate_sources_keep_first_label(self):
+        g = build_line_network(5)
+        part = voronoi_cells(g, [2, 2])
+        assert part.label[2] in (0, 1)
+        assert (part.label >= 0).all()

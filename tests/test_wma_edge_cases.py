@@ -1,0 +1,184 @@
+"""Edge-case tests for WMA and the solver stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SOLVERS, solve, validate_solution
+from repro.core.instance import MCFSInstance
+from repro.core.wma import WMASolver
+
+from tests.conftest import (
+    build_grid_network,
+    build_line_network,
+    build_two_component_network,
+)
+
+HEURISTICS = ("wma", "wma-uf", "wma-naive", "hilbert", "random", "wma-ls")
+
+
+class TestSingleCustomer:
+    @pytest.mark.parametrize("method", HEURISTICS + ("exact",))
+    def test_one_customer(self, method):
+        inst = MCFSInstance(
+            network=build_line_network(6),
+            customers=(3,),
+            facility_nodes=(0, 5),
+            capacities=(1, 1),
+            k=1,
+        )
+        sol = solve(inst, method=method)
+        validate_solution(inst, sol)
+        assert sol.objective == pytest.approx(2.0)  # nearest is node 5
+
+
+class TestColocated:
+    def test_every_customer_on_a_facility(self):
+        inst = MCFSInstance(
+            network=build_line_network(8),
+            customers=(1, 4, 6),
+            facility_nodes=(1, 4, 6),
+            capacities=(1, 1, 1),
+            k=3,
+        )
+        sol = solve(inst, method="wma")
+        validate_solution(inst, sol)
+        assert sol.objective == pytest.approx(0.0)
+
+    def test_zero_objective_exact_agrees(self):
+        inst = MCFSInstance(
+            network=build_line_network(8),
+            customers=(1, 4),
+            facility_nodes=(1, 4, 7),
+            capacities=(1, 1, 1),
+            k=2,
+        )
+        assert solve(inst, method="exact").objective == pytest.approx(0.0)
+        assert solve(inst, method="wma").objective == pytest.approx(0.0)
+
+
+class TestTightCapacity:
+    def test_exact_fit_occupancy_one(self):
+        # Total capacity exactly equals the customer count.
+        inst = MCFSInstance(
+            network=build_grid_network(4, 4),
+            customers=(0, 1, 2, 3, 12, 13, 14, 15),
+            facility_nodes=(5, 10),
+            capacities=(4, 4),
+            k=2,
+        )
+        for method in HEURISTICS:
+            sol = solve(inst, method=method)
+            validate_solution(inst, sol)
+            loads = sol.load_per_facility()
+            assert all(load == 4 for load in loads.values())
+
+    def test_capacity_one_facilities(self):
+        inst = MCFSInstance(
+            network=build_line_network(10),
+            customers=(0, 3, 7),
+            facility_nodes=(1, 4, 8, 9),
+            capacities=(1, 1, 1, 1),
+            k=3,
+        )
+        for method in HEURISTICS:
+            sol = solve(inst, method=method)
+            validate_solution(inst, sol)
+            assert len(set(sol.assignment)) == 3
+
+
+class TestBudgetExtremes:
+    def test_k_equals_l(self):
+        inst = MCFSInstance(
+            network=build_line_network(10),
+            customers=(0, 5, 9),
+            facility_nodes=(1, 4, 8),
+            capacities=(2, 2, 2),
+            k=3,
+        )
+        for method in HEURISTICS:
+            sol = solve(inst, method=method)
+            validate_solution(inst, sol)
+
+    def test_k_one_single_hub(self):
+        inst = MCFSInstance(
+            network=build_grid_network(3, 3),
+            # The center customer breaks the corner-vs-center tie.
+            customers=(0, 2, 4, 6, 8),
+            facility_nodes=(0, 4, 8),
+            capacities=(9, 9, 9),
+            k=1,
+        )
+        sol = solve(inst, method="wma")
+        validate_solution(inst, sol)
+        exact = solve(inst, method="exact")
+        # The center node 4 is the unique 1-median for the exact solver.
+        assert exact.selected == (1,)
+        assert exact.objective == pytest.approx(8.0)
+        # WMA's coverage-driven selection is distance-blind among full
+        # ties, so any single candidate is a legitimate outcome; the
+        # local-search refinement recovers the optimum.
+        refined = solve(inst, method="wma-ls")
+        assert refined.objective == pytest.approx(8.0)
+
+
+class TestDemandCapping:
+    def test_demands_freeze_in_small_component(self):
+        # Component B has one candidate; its customer's demand cannot
+        # grow past 1 even while A's customers explore.
+        g = build_two_component_network()
+        inst = MCFSInstance(
+            network=g,
+            customers=(0, 1, 3),
+            facility_nodes=(0, 1, 2, 4),
+            capacities=(1, 1, 1, 2),
+            k=3,
+        )
+        solver = WMASolver(inst)
+        sol = solver.solve()
+        validate_solution(inst, sol)
+        # Iterations stay bounded despite the frozen customer.
+        assert sol.meta["iterations"] <= inst.m * inst.l + 2
+
+
+class TestManyCustomersPerNode:
+    def test_heavy_colocation(self):
+        inst = MCFSInstance(
+            network=build_line_network(6),
+            customers=(2,) * 7,
+            facility_nodes=(0, 2, 5),
+            capacities=(3, 3, 3),
+            k=3,
+        )
+        sol = solve(inst, method="wma")
+        validate_solution(inst, sol)
+        exact = solve(inst, method="exact")
+        assert sol.objective == pytest.approx(exact.objective)
+
+    def test_colocation_shares_one_stream(self):
+        inst = MCFSInstance(
+            network=build_line_network(6),
+            customers=(2,) * 5,
+            facility_nodes=(0, 2, 5),
+            capacities=(2, 2, 2),
+            k=3,
+        )
+        solver = WMASolver(inst)
+        sol = solver.solve()
+        validate_solution(inst, sol)
+
+
+class TestParallelEdges:
+    def test_cheapest_parallel_edge_wins(self):
+        from repro.network.graph import Network
+
+        g = Network(3, [(0, 1, 5.0), (0, 1, 1.0), (1, 2, 1.0)])
+        inst = MCFSInstance(
+            network=g,
+            customers=(0,),
+            facility_nodes=(2,),
+            capacities=(1,),
+            k=1,
+        )
+        sol = solve(inst, method="wma")
+        assert sol.objective == pytest.approx(2.0)
