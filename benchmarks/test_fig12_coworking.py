@@ -13,10 +13,8 @@ of magnitude more than later incremental ones.
 
 from __future__ import annotations
 
-from repro import SOLVERS
 from repro.bench import experiments as ex
-from repro.bench.harness import BenchRow, run_solvers
-from repro.bench.reporting import format_series, format_table
+from repro.bench.reporting import format_table
 from repro.core import WMASolver
 
 

@@ -35,7 +35,9 @@ from repro.flow.sspa import assign_all
 from repro.geometry.hilbert_curve import hilbert_sort
 
 
-def _component_budgets(instance: MCFSInstance) -> list[tuple[list[int], list[int], int]]:
+def _component_budgets(
+    instance: MCFSInstance,
+) -> list[tuple[list[int], list[int], int]]:
     """Split the budget across components.
 
     Returns one ``(customer_indices, facility_indices, budget)`` triple

@@ -9,7 +9,13 @@
   experiment index).
 """
 
-from repro.bench.harness import BenchRow, run_solvers, solver_row
+from repro.bench.harness import (
+    BenchRow,
+    load_rows,
+    run_solvers,
+    save_rows,
+    solver_row,
+)
 from repro.bench.parallel import parallel_rows
 from repro.bench.reporting import (
     format_series,
@@ -23,6 +29,8 @@ __all__ = [
     "BenchRow",
     "run_solvers",
     "solver_row",
+    "save_rows",
+    "load_rows",
     "format_table",
     "format_series",
     "mean_rows",

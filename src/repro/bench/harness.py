@@ -10,21 +10,29 @@ instance before its row is trusted.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Sequence, TextIO
 
 from repro import SOLVERS
 from repro.errors import ReproError, SolverError
 from repro.core.instance import MCFSInstance
 from repro.core.validation import validate_solution
+from repro.obs import metrics as obs_metrics
 
 DEFAULT_METHODS = ("wma", "hilbert", "wma-naive", "exact")
 
 
 @dataclass
 class BenchRow:
-    """One algorithm's outcome on one instance."""
+    """One algorithm's outcome on one instance.
+
+    ``metrics`` carries the run's observability counters (flattened
+    :meth:`repro.obs.metrics.Registry.as_dict` output) so persisted
+    benchmark JSON records *why* a run was fast or slow, not just how
+    long it took.
+    """
 
     label: str
     method: str
@@ -33,6 +41,7 @@ class BenchRow:
     status: str = "ok"
     params: dict[str, Any] = field(default_factory=dict)
     meta: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -52,6 +61,47 @@ class BenchRow:
         out["status"] = self.status
         return out
 
+    def as_record(self) -> dict[str, Any]:
+        """Full JSON-serializable form (the persisted benchmark row)."""
+        return {
+            "label": self.label,
+            "method": self.method,
+            "objective": self.objective,
+            "runtime_sec": self.runtime_sec,
+            "status": self.status,
+            "params": dict(self.params),
+            "meta": {k: _jsonable(v) for k, v in self.meta.items()},
+            "metrics": dict(self.metrics),
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def save_rows(rows: Sequence[BenchRow], target: str | TextIO) -> None:
+    """Persist benchmark rows (metrics included) as a JSON document."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            save_rows(rows, fh)
+        return
+    json.dump([r.as_record() for r in rows], target, indent=2, sort_keys=True)
+    target.write("\n")
+
+
+def load_rows(source: str | TextIO) -> list[BenchRow]:
+    """Read rows written by :func:`save_rows`."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return load_rows(fh)
+    return [BenchRow(**record) for record in json.load(source)]
+
 
 def solver_row(
     instance: MCFSInstance,
@@ -70,9 +120,11 @@ def solver_row(
     """
     label = label or instance.name
     params = dict(params or {})
+    registry = obs_metrics.Registry()
     started = time.perf_counter()
     try:
-        solution = SOLVERS[method](instance, **solver_kwargs)
+        with obs_metrics.use(registry):
+            solution = SOLVERS[method](instance, **solver_kwargs)
     except SolverError as exc:
         return BenchRow(
             label=label,
@@ -82,6 +134,7 @@ def solver_row(
             status="timeout",
             params=params,
             meta={"error": str(exc)},
+            metrics=registry.as_dict(),
         )
     except ReproError as exc:
         return BenchRow(
@@ -92,6 +145,7 @@ def solver_row(
             status="error",
             params=params,
             meta={"error": str(exc)},
+            metrics=registry.as_dict(),
         )
     if validate:
         validate_solution(instance, solution)
@@ -103,6 +157,7 @@ def solver_row(
         status="ok",
         params=params,
         meta=dict(solution.meta),
+        metrics=registry.as_dict(),
     )
 
 

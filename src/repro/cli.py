@@ -7,11 +7,15 @@ Subcommands::
     python -m repro stats instance.npz
     python -m repro compare instance.npz --methods wma,hilbert,exact
     python -m repro bench --experiment fig6a
+    python -m repro profile --kind uniform --n 256 --seed 0 -o report.json
 
 ``generate`` builds a synthetic instance file, ``solve`` runs one solver
 and writes the solution, ``stats`` prints network/instance statistics,
-``compare`` prints a side-by-side solver table, and ``bench`` regenerates
-a paper experiment by id.
+``compare`` prints a side-by-side solver table, ``bench`` regenerates
+a paper experiment by id, and ``profile`` runs one solver under the
+observability layer (:mod:`repro.obs`), emits a structured metrics/span
+report, and can gate counters against a committed baseline (the CI
+benchmark-smoke job).
 """
 
 from __future__ import annotations
@@ -100,6 +104,39 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("instance", help="instance .npz path")
     exp.add_argument("--solution", default=None, help="solution .json path")
     exp.add_argument("-o", "--output", required=True, help="output JSON path")
+
+    prof = sub.add_parser(
+        "profile",
+        help="run one solver under full observability and emit a JSON report",
+    )
+    prof.add_argument(
+        "instance", nargs="?", default=None,
+        help="instance .npz path (omitted: generate a synthetic one)",
+    )
+    prof.add_argument("--method", choices=sorted(SOLVERS), default="wma")
+    prof.add_argument(
+        "--kind", choices=("uniform", "clustered"), default="uniform",
+        help="synthetic kind when no instance file is given",
+    )
+    prof.add_argument("--n", type=int, default=256, help="synthetic network size")
+    prof.add_argument("--seed", type=int, default=0, help="synthetic seed")
+    prof.add_argument(
+        "-o", "--output", default=None,
+        help="report JSON path (default: stdout)",
+    )
+    prof.add_argument(
+        "--spans-out", default=None,
+        help="also export raw spans as JSON-lines to this path",
+    )
+    prof.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON (see benchmarks/baselines/); exit 1 when any "
+        "baselined counter regresses beyond tolerance",
+    )
+    prof.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the baseline file's tolerance (fraction, e.g. 0.2)",
+    )
     return parser
 
 
@@ -264,6 +301,56 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import tracing
+    from repro.obs.profile import check_against_baseline, profile_solver
+
+    if args.instance is not None:
+        instance = load_instance(args.instance)
+    else:
+        from repro.datagen.instances import clustered_instance, uniform_instance
+
+        factory = (
+            uniform_instance if args.kind == "uniform" else clustered_instance
+        )
+        instance = factory(args.n, seed=args.seed)
+
+    trace = tracing.Trace()
+    report = profile_solver(instance, args.method, trace=trace)
+    payload = report.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    if args.spans_out:
+        trace.export_jsonl(args.spans_out)
+        print(f"wrote {args.spans_out} ({len(trace)} spans)")
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline_doc = json.load(fh)
+        baseline = baseline_doc.get("metrics", baseline_doc)
+        tolerance = args.tolerance
+        if tolerance is None:
+            tolerance = float(baseline_doc.get("tolerance", 0.2))
+        violations = check_against_baseline(
+            report.metrics, baseline, tolerance=tolerance
+        )
+        if violations:
+            for line in violations:
+                print(f"BASELINE REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"baseline ok: {len(baseline)} counters within "
+            f"{tolerance:.0%} of {args.baseline}"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -275,6 +362,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "refine": _cmd_refine,
         "export": _cmd_export,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -7,7 +7,7 @@ subject to constraints (2)-(3) in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

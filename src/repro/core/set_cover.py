@@ -27,6 +27,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs import metrics
+
 
 @dataclass
 class CoverResult:
@@ -109,9 +111,11 @@ def check_cover(
         if gain > 0:
             heap.append((-gain, tie_key(j), j))
     heapq.heapify(heap)
+    heap_pops = 0
 
     while heap and len(selected) < k:
         neg_gain, tie, j = heapq.heappop(heap)
+        heap_pops += 1
         fresh_gain = sum(1 for i in sigma[j] if not covered[i])
         if fresh_gain == 0:
             # Neither this nor anything below it in the heap can help if
@@ -127,6 +131,10 @@ def check_cover(
         if all(covered):
             break
 
+    reg = metrics.active()
+    reg.counter("set_cover.checks").add()
+    reg.counter("set_cover.heap_pops").add(heap_pops)
+    reg.counter("set_cover.selections").add(len(selected))
     return CoverResult(
         selected=selected,
         covered=covered,

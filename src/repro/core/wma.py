@@ -32,6 +32,7 @@ from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
 from repro.flow.bipartite import BipartiteState
 from repro.flow.sspa import ThresholdRule, assign_all, find_pair
+from repro.obs import metrics, tracing
 
 
 @dataclass
@@ -137,34 +138,38 @@ class WMASolver:
         iteration_guard = m * l + 2
 
         while True:
-            t0 = time.perf_counter()
-            for i in range(m):
-                while state.assignment_count(i) < demand[i]:
-                    try:
-                        find_pair(state, i, self.threshold_rule)
-                    except MatchingError:
-                        # No facility with free capacity is reachable:
-                        # freeze this customer's demand at what it got.
-                        max_demand[i] = state.assignment_count(i)
-                        demand[i] = max_demand[i]
-                        break
-            t1 = time.perf_counter()
+            with tracing.span("wma.iteration", k=iteration + 1):
+                t0 = time.perf_counter()
+                with tracing.span("wma.matching"):
+                    for i in range(m):
+                        while state.assignment_count(i) < demand[i]:
+                            try:
+                                find_pair(state, i, self.threshold_rule)
+                            except MatchingError:
+                                # No facility with free capacity is
+                                # reachable: freeze this customer's
+                                # demand at what it got.
+                                max_demand[i] = state.assignment_count(i)
+                                demand[i] = max_demand[i]
+                                break
+                t1 = time.perf_counter()
 
-            costs = None
-            if self.tie_breaking == "cost":
-                costs = [
-                    sum(state.edges[i][j] for i in state.assigned[j])
-                    for j in range(l)
-                ]
-            cover = check_cover(
-                state.assigned,
-                m,
-                k,
-                last_used,
-                tie_breaking=self.tie_breaking,
-                costs=costs,
-            )
-            t2 = time.perf_counter()
+                costs = None
+                if self.tie_breaking == "cost":
+                    costs = [
+                        sum(state.edges[i][j] for i in state.assigned[j])
+                        for j in range(l)
+                    ]
+                with tracing.span("wma.cover"):
+                    cover = check_cover(
+                        state.assigned,
+                        m,
+                        k,
+                        last_used,
+                        tie_breaking=self.tie_breaking,
+                        costs=costs,
+                    )
+                t2 = time.perf_counter()
             for j in cover.selected:
                 last_used[j] = iteration
 
@@ -183,16 +188,25 @@ class WMASolver:
                 demand[i] += deltas[i]
 
         # Special provisions (Algorithm 1, lines 10-13).
-        if len(selected) < k:
-            selected = select_greedy(instance, selected)
-        if not fully_covered:
-            selected = cover_components(instance, selected)
+        with tracing.span("wma.provisions"):
+            if len(selected) < k:
+                selected = select_greedy(instance, selected)
+            if not fully_covered:
+                selected = cover_components(instance, selected)
 
         # Final recursive phase: optimal assignment onto the selection
         # (Algorithm 1, lines 14-15 with F_p = F).
-        assignment, objective = _assign_to_selection(instance, selected, state)
+        with tracing.span("wma.final_assign"):
+            assignment, objective = _assign_to_selection(
+                instance, selected, state
+            )
 
         runtime = time.perf_counter() - started
+        reg = metrics.active()
+        reg.counter("wma.solves").add()
+        reg.counter("wma.iterations").add(iteration)
+        reg.gauge("bipartite.peak_edges").set_max(state.edges_materialized)
+        reg.timer("wma.solve").observe(runtime)
         return MCFSSolution(
             selected=tuple(selected),
             assignment=tuple(assignment),

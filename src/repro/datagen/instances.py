@@ -21,8 +21,6 @@ rows stay comparable and honest.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.core.instance import MCFSInstance

@@ -221,7 +221,10 @@ def _stitch_components(
         base = comps[0]
         best: tuple[float, int, int] | None = None
         for other in comps[1:]:
-            diff = coords[np.array(base)][:, None, :] - coords[np.array(other)][None, :, :]
+            diff = (
+                coords[np.array(base)][:, None, :]
+                - coords[np.array(other)][None, :, :]
+            )
             d2 = (diff**2).sum(axis=2)
             pos = np.unravel_index(np.argmin(d2), d2.shape)
             cand = (float(d2[pos]), base[pos[0]], other[pos[1]])

@@ -24,6 +24,7 @@ from typing import Iterable, Sequence
 from repro.errors import GraphError
 from repro.network.graph import Network
 from repro.network.incremental import StreamCursor, StreamPool
+from repro.obs import metrics
 
 
 class _FilteredCursor:
@@ -159,6 +160,9 @@ class BipartiteState:
         j = self._fac_index_of_node[node]
         self.edges[i][j] = dist
         self.edges_materialized += 1
+        reg = metrics.active()
+        reg.counter("incremental.edges_materialized").add()
+        reg.gauge("bipartite.peak_edges").set_max(self.edges_materialized)
         return j
 
     # ------------------------------------------------------------------

@@ -44,6 +44,7 @@ from repro.errors import MatchingError
 from repro.flow.bipartite import BipartiteState
 from repro.network.graph import Network
 from repro.network.incremental import StreamPool
+from repro.obs import metrics
 
 INF = math.inf
 _EPS = 1e-9
@@ -103,9 +104,13 @@ def _residual_dijkstra(
     heap: list[tuple[float, int]] = [(0.0, source)]
     heappush, heappop = heapq.heappush, heapq.heappop
     state.dijkstra_runs += 1
+    reg = metrics.active()
+    reg.counter("sspa.dijkstra_runs").add()
+    pops = 0
 
     while heap:
         d, u = heappop(heap)
+        pops += 1
         if u in done:
             continue
         done.add(u)
@@ -113,6 +118,7 @@ def _residual_dijkstra(
         if u >= m:
             j = u - m
             if not state.is_full(j):
+                reg.counter("sspa.pops").add(pops)
                 return dist, parent, settled, j, d
             # Full facility: relax backward arcs to its matched customers.
             pj = fac_p[j]
@@ -137,6 +143,7 @@ def _residual_dijkstra(
                     dist[v] = nd
                     parent[v] = u
                     heappush(heap, (nd, v))
+    reg.counter("sspa.pops").add(pops)
     return dist, parent, settled, None, INF
 
 
@@ -229,6 +236,7 @@ def find_pair(
                 f"customer {customer} cannot reach any facility with free "
                 f"capacity"
             )
+        metrics.active().counter("sspa.reveals").add()
         revealed = state.materialize_next(best_customer)
         # The cursor peeked non-inf distance, so a facility must exist.
         assert revealed is not None
@@ -259,6 +267,9 @@ def find_pair(
             state.match(u, v - m)
         else:
             state.unmatch(v, u - m)
+    reg = metrics.active()
+    reg.counter("sspa.augmentations").add()
+    reg.counter("sspa.path_edges").add(len(path) - 1)
 
     # Potential update (Algorithm 2, line 17): settled nodes only.
     for u in settled:

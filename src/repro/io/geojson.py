@@ -28,7 +28,10 @@ from repro.network.graph import Network
 def _point(coords, properties: dict[str, Any]) -> dict[str, Any]:
     return {
         "type": "Feature",
-        "geometry": {"type": "Point", "coordinates": [float(coords[0]), float(coords[1])]},
+        "geometry": {
+            "type": "Point",
+            "coordinates": [float(coords[0]), float(coords[1])],
+        },
         "properties": properties,
     }
 

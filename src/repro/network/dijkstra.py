@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.network.graph import Network
+from repro.obs import metrics
 
 INF = math.inf
 
@@ -97,9 +98,13 @@ def _run(
 
     remaining = set(targets) if targets is not None else None
     heappush, heappop = heapq.heappush, heapq.heappop
+    # Batched instrumentation: locals in the loop, one flush on return.
+    pops = 0
+    relaxations = 0
 
     while heap:
         d, u = heappop(heap)
+        pops += 1
         if done[u]:
             continue
         done[u] = True
@@ -117,8 +122,14 @@ def _run(
             if nd < dist[v] and nd <= radius:
                 dist[v] = nd
                 parent[v] = u
+                relaxations += 1
                 heappush(heap, (nd, v))
 
+    reg = metrics.active()
+    reg.counter("dijkstra.runs").add()
+    reg.counter("dijkstra.pops").add(pops)
+    reg.counter("dijkstra.relaxations").add(relaxations)
+    reg.counter("dijkstra.settled").add(len(settled_order))
     return DijkstraResult(dist=dist, parent=parent, settled=settled_order)
 
 
@@ -148,7 +159,9 @@ def shortest_path_lengths(
     return _run(network, [source], targets=target_set, radius=radius)
 
 
-def shortest_path(network: Network, source: int, target: int) -> tuple[float, list[int]]:
+def shortest_path(
+    network: Network, source: int, target: int
+) -> tuple[float, list[int]]:
     """Distance and node path between two nodes.
 
     Returns ``(distance, path)``; raises :class:`GraphError` when no path
@@ -213,24 +226,34 @@ def nearest_of(
     if not target_set:
         return None
     indptr, indices, weights = network.csr
-    n = network.n_nodes
     dist: dict[int, float] = {int(source): 0.0}
     done: set[int] = set()
     heap: list[tuple[float, int]] = [(0.0, int(source))]
+    pops = 0
+    relaxations = 0
+    found: tuple[int, float] | None = None
     while heap:
         d, u = heapq.heappop(heap)
+        pops += 1
         if u in done:
             continue
         done.add(u)
         if u in target_set:
-            return u, d
+            found = (u, d)
+            break
         for pos in range(indptr[u], indptr[u + 1]):
             v = int(indices[pos])
             nd = d + weights[pos]
             if nd < dist.get(v, INF):
                 dist[v] = nd
+                relaxations += 1
                 heapq.heappush(heap, (nd, v))
-    return None
+    reg = metrics.active()
+    reg.counter("dijkstra.runs").add()
+    reg.counter("dijkstra.pops").add(pops)
+    reg.counter("dijkstra.relaxations").add(relaxations)
+    reg.counter("dijkstra.settled").add(len(done))
+    return found
 
 
 def eccentricity_bound(network: Network, source: int) -> float:

@@ -28,6 +28,7 @@ import math
 from typing import Iterable
 
 from repro.network.graph import Network
+from repro.obs import metrics
 
 INF = math.inf
 
@@ -57,6 +58,7 @@ class NearestFacilityStream:
         self._heap: list[tuple[float, int]] = [(0.0, self._source)]
         self._found: list[tuple[int, float]] = []
         self._exhausted = False
+        metrics.active().counter("incremental.streams").add()
 
     @property
     def source(self) -> int:
@@ -92,23 +94,35 @@ class NearestFacilityStream:
         done = self._done
         indptr, indices, weights = self._indptr, self._indices, self._weights
         heappush, heappop = heapq.heappush, heapq.heappop
+        pops = 0
+        relaxations = 0
+        settled = 0
 
-        while heap:
-            d, u = heappop(heap)
-            if u in done:
-                continue
-            done.add(u)
-            lo, hi = indptr[u], indptr[u + 1]
-            for pos in range(lo, hi):
-                v = int(indices[pos])
-                nd = d + weights[pos]
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    heappush(heap, (nd, v))
-            if u in self._facility_set:
-                self._found.append((u, d))
-                return
-        self._exhausted = True
+        try:
+            while heap:
+                d, u = heappop(heap)
+                pops += 1
+                if u in done:
+                    continue
+                done.add(u)
+                settled += 1
+                lo, hi = indptr[u], indptr[u + 1]
+                for pos in range(lo, hi):
+                    v = int(indices[pos])
+                    nd = d + weights[pos]
+                    if nd < dist.get(v, INF):
+                        dist[v] = nd
+                        relaxations += 1
+                        heappush(heap, (nd, v))
+                if u in self._facility_set:
+                    self._found.append((u, d))
+                    return
+            self._exhausted = True
+        finally:
+            reg = metrics.active()
+            reg.counter("incremental.pops").add(pops)
+            reg.counter("incremental.relaxations").add(relaxations)
+            reg.counter("incremental.settled").add(settled)
 
 
 class StreamCursor:

@@ -1,0 +1,38 @@
+"""Zero-dependency observability: metrics, tracing, solver profiling.
+
+The subsystem has three layers (see each module's docstring):
+
+* :mod:`repro.obs.metrics` -- hierarchical counters/gauges/timers behind
+  a per-run :class:`~repro.obs.metrics.Registry`; always on, batched
+  updates keep hot-path overhead negligible.
+* :mod:`repro.obs.tracing` -- nested wall-time spans with a JSON-lines
+  exporter; opt-in per run.
+* :mod:`repro.obs.profile` -- wrap one solver call and emit a structured
+  :class:`~repro.obs.profile.ProfileReport`, the data behind
+  ``repro profile`` and the CI benchmark-smoke gate.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics, tracing
+from repro.obs.metrics import Counter, Gauge, Registry, Timer
+from repro.obs.profile import (
+    ProfileReport,
+    check_against_baseline,
+    profile_solver,
+)
+from repro.obs.tracing import Span, Trace
+
+__all__ = [
+    "metrics",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Registry",
+    "Span",
+    "Trace",
+    "ProfileReport",
+    "profile_solver",
+    "check_against_baseline",
+]

@@ -1,0 +1,162 @@
+"""Nested wall-time spans with a JSON-lines exporter.
+
+A :class:`Trace` records a tree of named spans::
+
+    trace = Trace()
+    with tracing.use(trace):
+        with tracing.span("wma.iteration", k=3):
+            with tracing.span("wma.matching"):
+                ...
+
+Each span stores its name, start offset (relative to the trace's own
+origin, so traces are comparable across runs), duration, nesting depth,
+parent index, and free-form attributes.  Spans are appended in *start*
+order, which is also a valid pre-order traversal of the span tree.
+
+Unlike metrics (always on), tracing is opt-in: when no trace is active,
+:func:`span` yields a no-op context with near-zero cost, so solver hot
+loops may be spanned without penalizing un-profiled runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, TextIO
+
+
+@dataclass
+class Span:
+    """One recorded span (see module docstring for field semantics)."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    index: int
+    parent: int  # index of the parent span, -1 for roots
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, Any]:
+        """Flat JSON-serializable dict for export."""
+        row: dict[str, Any] = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+            "depth": self.depth,
+            "index": self.index,
+            "parent": self.parent,
+        }
+        if self.attrs:
+            row["attrs"] = self.attrs
+        return row
+
+
+class Trace:
+    """An ordered collection of nested spans from one profiled run."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._origin = time.perf_counter()
+        self._stack: list[int] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Record a span covering the ``with`` block."""
+        index = len(self.spans)
+        record = Span(
+            name=name,
+            start=time.perf_counter() - self._origin,
+            duration=0.0,
+            depth=len(self._stack),
+            index=index,
+            parent=self._stack[-1] if self._stack else -1,
+            attrs=attrs,
+        )
+        self.spans.append(record)
+        self._stack.append(index)
+        t0 = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.duration = time.perf_counter() - t0
+            self._stack.pop()
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All spans as flat dicts, in start order."""
+        return [s.as_row() for s in self.spans]
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate wall time per span name.
+
+        Returns ``{name: {"calls": n, "total_s": t, "max_s": m}}``; the
+        per-span report of :mod:`repro.obs.profile` embeds this.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for s in self.spans:
+            agg = out.setdefault(
+                s.name, {"calls": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            agg["calls"] += 1
+            agg["total_s"] += s.duration
+            agg["max_s"] = max(agg["max_s"], s.duration)
+        return out
+
+    def export_jsonl(self, target: str | TextIO) -> None:
+        """Write one JSON object per span to ``target`` (path or file)."""
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                self.export_jsonl(fh)
+            return
+        for row in self.rows():
+            target.write(json.dumps(row, sort_keys=True) + "\n")
+
+    @staticmethod
+    def import_jsonl(source: str | TextIO) -> list[dict[str, Any]]:
+        """Read back rows written by :meth:`export_jsonl`."""
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as fh:
+                return Trace.import_jsonl(fh)
+        return [json.loads(line) for line in source if line.strip()]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self.spans)} spans)"
+
+
+# ----------------------------------------------------------------------
+# Active-trace management
+# ----------------------------------------------------------------------
+_active: Trace | None = None
+
+
+def active() -> Trace | None:
+    """The trace spans record into, or ``None`` when tracing is off."""
+    return _active
+
+
+@contextmanager
+def use(trace: Trace) -> Iterator[Trace]:
+    """Make ``trace`` the active one within the ``with`` block."""
+    global _active
+    previous = _active
+    _active = trace
+    try:
+        yield trace
+    finally:
+        _active = previous
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span | None]:
+    """Record a span on the active trace; no-op when tracing is off."""
+    trace = _active
+    if trace is None:
+        yield None
+        return
+    with trace.span(name, **attrs) as record:
+        yield record

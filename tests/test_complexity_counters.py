@@ -8,10 +8,10 @@ the practical gap, using the solver's built-in counters.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.wma import WMASolver
 from repro.datagen.instances import clustered_instance, uniform_instance
+from repro.flow.sspa import assign_all
+from repro.obs import metrics
 
 
 class TestCounters:
@@ -51,3 +51,46 @@ class TestCounters:
         solver.solve()
         edges = solver.trace.edges_materialized
         assert edges == sorted(edges)
+
+
+class TestUnifiedCounters:
+    """The `repro.obs` counters must agree with the legacy ad-hoc ones
+    (`BipartiteState.edges_materialized`, `BipartiteState.dijkstra_runs`,
+    `MCFSSolution.meta`) before the legacy ones can be removed."""
+
+    def test_assign_all_unified_matches_state_counters(self):
+        inst = uniform_instance(256, seed=2)
+        reg = metrics.Registry()
+        with metrics.use(reg):
+            result = assign_all(
+                inst.network,
+                inst.customers,
+                inst.facility_nodes,
+                inst.capacities,
+            )
+        flat = reg.as_dict()
+        state = result.state
+        assert flat["incremental.edges_materialized"] == (
+            state.edges_materialized
+        )
+        assert flat["sspa.dijkstra_runs"] == state.dijkstra_runs
+        # One augmentation per customer: assign_all's invariant.
+        assert flat["sspa.augmentations"] == state.m
+
+    def test_wma_unified_matches_solution_meta(self):
+        inst = uniform_instance(256, seed=0)
+        reg = metrics.Registry()
+        with metrics.use(reg):
+            sol = WMASolver(inst).solve()
+        flat = reg.as_dict()
+        assert flat["wma.iterations"] == sol.meta["iterations"]
+        # The meta counters cover the main-phase BipartiteState only; the
+        # unified ones also include the final-assignment state, so they
+        # dominate but never undershoot.
+        assert (
+            flat["incremental.edges_materialized"]
+            >= sol.meta["edges_materialized"]
+        )
+        assert flat["sspa.dijkstra_runs"] >= sol.meta["dijkstra_runs"]
+        # Peak G_b size is exactly the main phase's final edge count.
+        assert flat["bipartite.peak_edges"] >= sol.meta["edges_materialized"]

@@ -22,7 +22,6 @@ from repro.network.dijkstra import (
 from repro.network.graph import Network
 
 from tests.conftest import (
-    build_grid_network,
     build_line_network,
     build_random_network,
     build_two_component_network,

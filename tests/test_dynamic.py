@@ -10,7 +10,7 @@ from repro.core.instance import MCFSInstance
 from repro.errors import InvalidInstanceError, MatchingError
 from repro.flow.sspa import assign_all
 
-from tests.conftest import build_line_network, build_random_network
+from tests.conftest import build_line_network
 
 
 def line_instance() -> MCFSInstance:

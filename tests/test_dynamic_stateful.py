@@ -8,7 +8,6 @@ cost-equal to a fresh optimal assignment of the surviving customers.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import settings
 from hypothesis.stateful import (

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import itertools
 
-import numpy as np
 import pytest
 
 from repro.baselines.exact import lp_lower_bound, solve_exact

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import SOLVERS, solve, validate_solution
+from repro import solve, validate_solution
 from repro.analysis import compare_solutions, solution_stats
 from repro.core import DynamicAllocator, refine_solution
 from repro.core.throughput import assign_with_throughput

@@ -1,0 +1,286 @@
+"""The observability layer: registry semantics, spans, profiling, gates."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.datagen.instances import uniform_instance
+from repro.obs import metrics, tracing
+from repro.obs.metrics import Registry
+from repro.obs.profile import (
+    ProfileReport,
+    check_against_baseline,
+    profile_solver,
+)
+from repro.obs.tracing import Trace
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = Registry()
+        reg.counter("a.b").add()
+        reg.counter("a.b").add(4)
+        assert reg.counter("a.b").value == 5
+
+    def test_instruments_cached_by_name(self):
+        reg = Registry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.timer("t") is reg.timer("t")
+
+    def test_kind_conflict_raises(self):
+        reg = Registry()
+        reg.counter("name")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("name")
+
+    def test_gauge_set_and_set_max(self):
+        reg = Registry()
+        g = reg.gauge("peak")
+        g.set(10)
+        g.set_max(3)
+        assert g.value == 10
+        g.set_max(12)
+        assert g.value == 12
+
+    def test_timer_observe_and_context(self):
+        reg = Registry()
+        t = reg.timer("phase")
+        t.observe(0.5)
+        with t.time():
+            pass
+        assert t.count == 2
+        assert t.total >= 0.5
+
+    def test_as_dict_flattens_and_sorts(self):
+        reg = Registry()
+        reg.counter("z.count").add(2)
+        reg.gauge("a.peak").set(1.5)
+        reg.timer("m.phase").observe(0.25)
+        flat = reg.as_dict()
+        assert list(flat) == sorted(flat)
+        assert flat["z.count"] == 2
+        assert flat["a.peak"] == 1.5
+        assert flat["m.phase.seconds"] == 0.25
+        assert flat["m.phase.calls"] == 1
+
+    def test_reset_and_contains(self):
+        reg = Registry()
+        reg.counter("c").add()
+        assert "c" in reg and len(reg) == 1
+        reg.reset()
+        assert "c" not in reg and len(reg) == 0
+
+    def test_use_swaps_and_restores_active(self):
+        outer = metrics.active()
+        reg = Registry()
+        with metrics.use(reg):
+            assert metrics.active() is reg
+            inner = Registry()
+            with metrics.use(inner):
+                assert metrics.active() is inner
+            assert metrics.active() is reg
+        assert metrics.active() is outer
+
+    def test_use_restores_on_exception(self):
+        outer = metrics.active()
+        with pytest.raises(RuntimeError):
+            with metrics.use(Registry()):
+                raise RuntimeError("boom")
+        assert metrics.active() is outer
+
+    def test_default_registry_is_fallback(self):
+        assert metrics.active() is metrics.default()
+
+
+class TestTracing:
+    def test_span_nesting_depth_and_parent(self):
+        trace = Trace()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+            with trace.span("sibling"):
+                pass
+        outer, inner, sibling = trace.spans
+        assert (outer.depth, outer.parent) == (0, -1)
+        assert (inner.depth, inner.parent) == (1, outer.index)
+        assert (sibling.depth, sibling.parent) == (1, outer.index)
+        assert outer.duration >= inner.duration + sibling.duration
+
+    def test_span_attrs_recorded(self):
+        trace = Trace()
+        with trace.span("wma.iteration", k=3) as span:
+            pass
+        assert span.attrs == {"k": 3}
+        assert trace.rows()[0]["attrs"] == {"k": 3}
+
+    def test_module_span_noop_without_active_trace(self):
+        assert tracing.active() is None
+        with tracing.span("anything") as span:
+            assert span is None
+
+    def test_module_span_records_on_active_trace(self):
+        trace = Trace()
+        with tracing.use(trace):
+            with tracing.span("phase", idx=1):
+                pass
+        assert tracing.active() is None
+        assert len(trace) == 1
+        assert trace.spans[0].name == "phase"
+
+    def test_summary_aggregates_by_name(self):
+        trace = Trace()
+        for _ in range(3):
+            with trace.span("repeat"):
+                pass
+        summary = trace.summary()
+        assert summary["repeat"]["calls"] == 3
+        assert summary["repeat"]["total_s"] >= summary["repeat"]["max_s"]
+
+    def test_jsonl_export_round_trip(self):
+        trace = Trace()
+        with trace.span("a", tag="x"):
+            with trace.span("b"):
+                pass
+        buf = io.StringIO()
+        trace.export_jsonl(buf)
+        buf.seek(0)
+        rows = Trace.import_jsonl(buf)
+        assert rows == trace.rows()
+        assert [r["name"] for r in rows] == ["a", "b"]
+
+    def test_jsonl_export_to_path(self, tmp_path):
+        trace = Trace()
+        with trace.span("only"):
+            pass
+        path = str(tmp_path / "spans.jsonl")
+        trace.export_jsonl(path)
+        assert Trace.import_jsonl(path) == trace.rows()
+
+
+class TestProfileSolver:
+    @pytest.fixture(scope="class")
+    def report(self) -> ProfileReport:
+        return profile_solver(uniform_instance(128, seed=1), "wma")
+
+    REQUIRED = (
+        "dijkstra.pops",
+        "incremental.edges_materialized",
+        "sspa.augmentations",
+        "set_cover.checks",
+    )
+
+    def test_required_counters_present(self, report):
+        for name in self.REQUIRED:
+            assert name in report.metrics, name
+            assert report.metrics[name] > 0
+
+    def test_span_wall_times_present(self, report):
+        for name in ("solve", "wma.matching", "wma.cover", "validate"):
+            assert report.span_summary[name]["total_s"] >= 0.0
+            assert report.span_summary[name]["calls"] >= 1
+
+    def test_report_json_round_trip(self, report):
+        doc = json.loads(report.to_json())
+        assert doc["method"] == "wma"
+        assert doc["metrics"] == report.metrics
+        assert doc["objective"] == report.objective
+
+    def test_runs_are_isolated_from_default_registry(self):
+        before = metrics.default().as_dict().get("sspa.augmentations", 0)
+        profile_solver(uniform_instance(128, seed=2), "wma")
+        after = metrics.default().as_dict().get("sspa.augmentations", 0)
+        assert after == before
+
+
+class TestBaselineGate:
+    def test_within_tolerance_passes(self):
+        violations = check_against_baseline(
+            {"a": 110}, {"a": 100}, tolerance=0.2
+        )
+        assert violations == []
+
+    def test_exceeding_tolerance_fails(self):
+        violations = check_against_baseline(
+            {"a": 121}, {"a": 100}, tolerance=0.2
+        )
+        assert len(violations) == 1
+        assert "a" in violations[0]
+
+    def test_missing_observed_counter_fails(self):
+        violations = check_against_baseline({}, {"a": 100})
+        assert violations == ["a: missing from observed metrics"]
+
+    def test_extra_observed_counters_ignored(self):
+        assert check_against_baseline({"a": 1, "new": 9999}, {"a": 1}) == []
+
+    def test_committed_smoke_baseline_gate(self, tmp_path):
+        """The CI gate end-to-end: pass on honest baseline, fail on a
+        lowered one (the acceptance-criteria scenario)."""
+        from pathlib import Path
+
+        from repro.cli import main
+
+        baseline = (
+            Path(__file__).resolve().parents[1]
+            / "benchmarks" / "baselines" / "smoke.json"
+        )
+        doc = json.loads(baseline.read_text())
+        inst = doc["instance"]
+        argv = [
+            "profile",
+            "--kind", inst["kind"],
+            "--n", str(inst["n"]),
+            "--seed", str(inst["seed"]),
+            "--method", doc["method"],
+            "-o", str(tmp_path / "report.json"),
+        ]
+        assert main(argv + ["--baseline", str(baseline)]) == 0
+
+        doc["metrics"]["sspa.augmentations"] = 1
+        lowered = tmp_path / "lowered.json"
+        lowered.write_text(json.dumps(doc))
+        assert main(argv + ["--baseline", str(lowered)]) == 1
+
+
+class TestCliProfile:
+    def test_profile_writes_report_and_spans(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        spans = tmp_path / "spans.jsonl"
+        rc = main(
+            [
+                "profile", "--kind", "uniform", "--n", "128", "--seed", "3",
+                "-o", str(out), "--spans-out", str(spans),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        for name in TestProfileSolver.REQUIRED:
+            assert name in doc["metrics"]
+        rows = Trace.import_jsonl(str(spans))
+        assert any(r["name"] == "wma.iteration" for r in rows)
+
+
+class TestBenchRowMetrics:
+    def test_solver_row_collects_metrics(self):
+        from repro.bench.harness import solver_row
+
+        row = solver_row(uniform_instance(128, seed=4), "wma")
+        assert row.metrics["sspa.augmentations"] > 0
+        assert row.metrics["incremental.edges_materialized"] > 0
+
+    def test_rows_json_round_trip(self, tmp_path):
+        from repro.bench.harness import load_rows, save_rows, solver_row
+
+        rows = [solver_row(uniform_instance(128, seed=5), "wma")]
+        path = str(tmp_path / "rows.json")
+        save_rows(rows, path)
+        loaded = load_rows(path)
+        assert len(loaded) == 1
+        assert loaded[0].metrics == rows[0].metrics
+        assert loaded[0].objective == pytest.approx(rows[0].objective)

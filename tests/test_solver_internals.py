@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import solve, validate_solution
+from repro import validate_solution
 from repro.baselines.exact import solve_exact
 from repro.baselines.hilbert import _component_budgets
 from repro.baselines.wma_naive import _final_greedy_assignment

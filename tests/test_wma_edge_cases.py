@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import SOLVERS, solve, validate_solution
+from repro import solve, validate_solution
 from repro.core.instance import MCFSInstance
 from repro.core.wma import WMASolver
 
