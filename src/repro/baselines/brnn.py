@@ -30,41 +30,93 @@ from repro.core.provisions import cover_components
 from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
 from repro.flow.sspa import assign_all
-from repro.network.dijkstra import multi_source_lengths, shortest_path_lengths
+from repro.network.dijkstra import (
+    distance_matrix,
+    multi_source_lengths,
+    shortest_path_lengths,
+)
+from repro.network.parallel import ParallelDistanceEngine, resolve_workers
 
 
-def _first_facility(instance: MCFSInstance) -> int:
+def _first_facility(
+    instance: MCFSInstance, engine: ParallelDistanceEngine | None = None
+) -> int:
     """The 1-median seed: candidate minimizing summed customer distance.
 
     Customers that cannot reach a candidate contribute a large constant
-    so that candidates reaching *more* customers always win.
+    so that candidates reaching *more* customers always win.  The
+    customer-to-candidate distances come from one batched (optionally
+    process-parallel) distance matrix.
     """
-    fac_nodes = np.asarray(instance.facility_nodes)
+    fac_nodes = list(instance.facility_nodes)
+    customers = list(instance.customers)
+    if engine is not None:
+        mat = engine.distance_matrix(customers, fac_nodes)
+    else:
+        mat = distance_matrix(instance.network, customers, fac_nodes)
     sums = np.zeros(instance.l)
     unreachable = np.zeros(instance.l, dtype=np.int64)
-    for node in instance.customers:
-        result = shortest_path_lengths(instance.network, node)
-        dist = result.dist[fac_nodes]
-        finite = np.isfinite(dist)
-        sums[finite] += dist[finite]
+    # Accumulate customer by customer: same summation order (hence the
+    # same floats and tie-breaks) as the historical per-customer loop.
+    for row in mat:
+        finite = np.isfinite(row)
+        sums[finite] += row[finite]
         unreachable[~finite] += 1
     # Lexicographic: fewest unreachable customers, then smallest sum.
     order = np.lexsort((sums, unreachable))
     return int(order[0])
 
 
-def solve_brnn(instance: MCFSInstance) -> MCFSSolution:
-    """Run the iterative BRNN / MaxSum baseline."""
+def _nearest_selected(
+    instance: MCFSInstance,
+    selected_nodes: list[int],
+    engine: ParallelDistanceEngine | None,
+) -> np.ndarray:
+    """Distance from every node to its nearest selected facility."""
+    if engine is not None:
+        dist, _, _ = engine.multi_source_lengths(selected_nodes)
+        return dist
+    return multi_source_lengths(instance.network, selected_nodes).dist
+
+
+def solve_brnn(
+    instance: MCFSInstance, *, workers: int | None = None
+) -> MCFSSolution:
+    """Run the iterative BRNN / MaxSum baseline.
+
+    ``workers`` fans the seed distance matrix and the per-iteration
+    nearest-facility sweeps over a process pool (default: the
+    ``REPRO_WORKERS`` environment variable, else serial); the selection
+    and objective are identical for any worker count.
+    """
     started = time.perf_counter()
     check_feasibility(instance)
 
-    selected: list[int] = [_first_facility(instance)]
+    n_workers = resolve_workers(workers)
+    engine = (
+        ParallelDistanceEngine(instance.network, n_workers)
+        if n_workers > 1
+        else None
+    )
+    try:
+        return _solve_brnn(instance, engine, started)
+    finally:
+        if engine is not None:
+            engine.close()
+
+
+def _solve_brnn(
+    instance: MCFSInstance,
+    engine: ParallelDistanceEngine | None,
+    started: float,
+) -> MCFSSolution:
+    selected: list[int] = [_first_facility(instance, engine)]
     fac_nodes = list(instance.facility_nodes)
     candidate_of_node = instance.facility_index_of_node()
 
     while len(selected) < instance.k:
         selected_nodes = [fac_nodes[j] for j in selected]
-        nearest = multi_source_lengths(instance.network, selected_nodes).dist
+        nearest = _nearest_selected(instance, selected_nodes, engine)
 
         scores = np.zeros(instance.l, dtype=np.int64)
         for node in instance.customers:

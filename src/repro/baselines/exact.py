@@ -34,15 +34,20 @@ from repro.network.dijkstra import distance_matrix
 ExactSolution = MCFSSolution
 
 
-def _build_problem(instance: MCFSInstance):
+def _build_problem(instance: MCFSInstance, workers: int | None = None):
     """Assemble the sparse MILP data.
 
     Returns ``(costs, constraints, n_x, pairs)`` where variables are laid
     out as ``x_0..x_{l-1}`` followed by one ``y`` per finite customer-
     facility pair, and ``pairs`` lists the ``(i, j)`` of each y-variable.
+    The distance matrix dominates build time on large instances; it fans
+    out over ``workers`` processes when requested.
     """
     dist = distance_matrix(
-        instance.network, list(instance.customers), list(instance.facility_nodes)
+        instance.network,
+        list(instance.customers),
+        list(instance.facility_nodes),
+        workers=workers,
     )
     m, l = instance.m, instance.l
 
@@ -108,6 +113,7 @@ def solve_exact(
     *,
     time_limit: float | None = None,
     mip_gap: float = 0.0,
+    workers: int | None = None,
 ) -> MCFSSolution:
     """Solve MCFS to optimality with HiGHS.
 
@@ -122,6 +128,10 @@ def solve_exact(
         the paper does for Gurobi runs beyond 24 hours.
     mip_gap:
         Relative MIP gap at which HiGHS may stop (0 = prove optimality).
+    workers:
+        Process count for the distance-matrix fan-out (default: the
+        ``REPRO_WORKERS`` environment variable, else serial).  The MILP
+        itself stays single-process; distances are identical regardless.
 
     Raises
     ------
@@ -131,7 +141,7 @@ def solve_exact(
         On time-out or unexpected backend failure.
     """
     started = time.perf_counter()
-    costs, constraint, n_var, pairs = _build_problem(instance)
+    costs, constraint, n_var, pairs = _build_problem(instance, workers)
     options: dict[str, float] = {}
     if time_limit is not None:
         options["time_limit"] = float(time_limit)

@@ -30,7 +30,7 @@ from repro.core.provisions import cover_components
 from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
 from repro.flow.sspa import assign_all
-from repro.network.dijkstra import multi_source_lengths, shortest_path_lengths
+from repro.network.dijkstra import distance_matrix, multi_source_lengths
 
 
 def _uncapacitated_cost(
@@ -78,14 +78,16 @@ def _greedy_init(
     instance: MCFSInstance,
     rng: np.random.Generator,
     pool_size: int,
+    workers: int | None = None,
 ) -> list[int]:
     """Greedy k-median seeding: add the facility reducing cost most.
 
     Classic greedy over a candidate pool (customer-hosting candidates
     plus a random sample, to keep each round linear).  Maintains the
     per-customer distance to the nearest open facility incrementally: one
-    Dijkstra per *evaluated* candidate, reused across rounds through the
-    cached distance columns.
+    Dijkstra per *evaluated* candidate (batched into a distance matrix,
+    optionally fanned over ``workers`` processes), reused across rounds
+    through the cached distance columns.
     """
     customer_nodes = list(dict.fromkeys(instance.customers))
     customer_set = set(customer_nodes)
@@ -106,16 +108,15 @@ def _greedy_init(
         pool += missing[: instance.k - len(pool)]
 
     # Distance column per pool candidate (facility -> every customer).
-    columns: dict[int, np.ndarray] = {}
-    for j in pool:
-        dist = shortest_path_lengths(
-            instance.network,
-            instance.facility_nodes[j],
-            targets=set(instance.customers),
-        ).dist
-        columns[j] = np.array(
-            [dist[node] for node in instance.customers]
-        )
+    matrix = distance_matrix(
+        instance.network,
+        [instance.facility_nodes[j] for j in pool],
+        list(instance.customers),
+        workers=workers,
+    )
+    columns: dict[int, np.ndarray] = {
+        j: matrix[idx] for idx, j in enumerate(pool)
+    }
 
     best_per_customer = np.full(instance.m, np.inf)
     selected: list[int] = []
@@ -144,6 +145,7 @@ def solve_kmedian_ls(
     seed: int = 0,
     max_rounds: int = 20,
     pool_size: int = 64,
+    workers: int | None = None,
 ) -> MCFSSolution:
     """Uncapacitated swap local search + capacity repair baseline.
 
@@ -158,12 +160,16 @@ def solve_kmedian_ls(
         Bound on improvement rounds (each scans every open facility).
     pool_size:
         Closed candidates sampled per swap evaluation.
+    workers:
+        Process count for the greedy-init distance-matrix fan-out
+        (default: the ``REPRO_WORKERS`` environment variable, else
+        serial).  The search trajectory is identical for any count.
     """
     started = time.perf_counter()
     check_feasibility(instance)
     rng = np.random.default_rng(seed)
 
-    selected = _greedy_init(instance, rng, pool_size)
+    selected = _greedy_init(instance, rng, pool_size, workers)
     cost = _uncapacitated_cost(instance, selected)
 
     for _ in range(max_rounds):

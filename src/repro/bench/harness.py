@@ -10,18 +10,24 @@ instance before its row is trusted.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Iterable, Sequence, TextIO
 
 from repro import SOLVERS
 from repro.errors import ReproError, SolverError
 from repro.core.instance import MCFSInstance
 from repro.core.validation import validate_solution
+from repro.network import distcache
 from repro.obs import metrics as obs_metrics
 
 DEFAULT_METHODS = ("wma", "hilbert", "wma-naive", "exact")
+
+#: Solvers that accept a ``workers=`` keyword (process-parallel
+#: distance fan-out; see :mod:`repro.network.parallel`).
+WORKER_AWARE_METHODS = frozenset({"exact", "brnn", "kmedian-ls"})
 
 
 @dataclass
@@ -96,11 +102,19 @@ def save_rows(rows: Sequence[BenchRow], target: str | TextIO) -> None:
 
 
 def load_rows(source: str | TextIO) -> list[BenchRow]:
-    """Read rows written by :func:`save_rows`."""
+    """Read rows written by :func:`save_rows`.
+
+    Unknown keys are ignored, so rows persisted by a newer schema (with
+    extra fields) still load instead of crashing the reader.
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as fh:
             return load_rows(fh)
-    return [BenchRow(**record) for record in json.load(source)]
+    known = {f.name for f in fields(BenchRow)}
+    return [
+        BenchRow(**{k: v for k, v in record.items() if k in known})
+        for record in json.load(source)
+    ]
 
 
 def solver_row(
@@ -170,6 +184,8 @@ def run_solvers(
     exact_time_limit: float | None = 60.0,
     validate: bool = True,
     seeds: dict[str, int] | None = None,
+    workers: int | None = None,
+    distance_cache: "bool | distcache.DistanceCache | None" = None,
 ) -> list[BenchRow]:
     """Run several solvers on an instance and return their rows.
 
@@ -184,24 +200,43 @@ def run_solvers(
         a ``timeout`` row rather than an exception.
     seeds:
         Optional per-method ``seed`` keyword (randomized baselines).
+    workers:
+        Process count forwarded to the solvers in
+        :data:`WORKER_AWARE_METHODS`; objectives are identical for any
+        count.
+    distance_cache:
+        ``True`` creates a fresh :class:`repro.network.distcache.DistanceCache`
+        shared by every method in this line-up; an existing cache
+        instance is used as-is (e.g. one shared across a parameter
+        sweep).  Cached distances are bit-identical to fresh runs.
     """
+    if distance_cache is True:
+        distance_cache = distcache.DistanceCache()
+    scope = (
+        distcache.use(distance_cache)
+        if isinstance(distance_cache, distcache.DistanceCache)
+        else contextlib.nullcontext()
+    )
     rows: list[BenchRow] = []
-    for method in methods:
-        kwargs: dict[str, Any] = {}
-        if method == "exact" and exact_time_limit is not None:
-            kwargs["time_limit"] = exact_time_limit
-        if seeds and method in seeds:
-            kwargs["seed"] = seeds[method]
-        rows.append(
-            solver_row(
-                instance,
-                method,
-                label=label,
-                params=params,
-                validate=validate,
-                **kwargs,
+    with scope:
+        for method in methods:
+            kwargs: dict[str, Any] = {}
+            if method == "exact" and exact_time_limit is not None:
+                kwargs["time_limit"] = exact_time_limit
+            if seeds and method in seeds:
+                kwargs["seed"] = seeds[method]
+            if workers is not None and method in WORKER_AWARE_METHODS:
+                kwargs["workers"] = workers
+            rows.append(
+                solver_row(
+                    instance,
+                    method,
+                    label=label,
+                    params=params,
+                    validate=validate,
+                    **kwargs,
+                )
             )
-        )
     return rows
 
 

@@ -89,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--methods", default="wma,hilbert,wma-naive",
         help="comma-separated solver names",
     )
+    ben.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for distance fan-out in worker-aware solvers "
+        "(default: REPRO_WORKERS env var, else serial); objectives are "
+        "identical for any count",
+    )
 
     ref = sub.add_parser(
         "refine", help="local-search refine a saved solution"
@@ -136,6 +142,11 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument(
         "--tolerance", type=float, default=None,
         help="override the baseline file's tolerance (fraction, e.g. 0.2)",
+    )
+    prof.add_argument(
+        "--workers", type=int, default=None,
+        help="process count for distance fan-out in worker-aware solvers "
+        "(default: REPRO_WORKERS env var, else serial)",
     )
     return parser
 
@@ -243,7 +254,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         case_methods = list(methods)
         if "exact" in case_methods and not ex.include_exact(instance):
             case_methods.remove("exact")
-        rows += run_solvers(instance, case_methods, params=params)
+        rows += run_solvers(
+            instance, case_methods, params=params, workers=args.workers
+        )
     print(format_series(rows, x_key=x_key, value="objective",
                         title=f"{args.experiment} -- objective"))
     print()
@@ -318,7 +331,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         instance = factory(args.n, seed=args.seed)
 
     trace = tracing.Trace()
-    report = profile_solver(instance, args.method, trace=trace)
+    report = profile_solver(
+        instance, args.method, trace=trace, workers=args.workers
+    )
     payload = report.to_json()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:

@@ -113,10 +113,15 @@ def check_cover(
     heapq.heapify(heap)
     heap_pops = 0
 
+    n_covered = 0
     while heap and len(selected) < k:
         neg_gain, tie, j = heapq.heappop(heap)
         heap_pops += 1
-        fresh_gain = sum(1 for i in sigma[j] if not covered[i])
+        members = sigma[j]
+        fresh_gain = len(members)
+        for i in members:
+            if covered[i]:
+                fresh_gain -= 1
         if fresh_gain == 0:
             # Neither this nor anything below it in the heap can help if
             # the stale key was already the maximum and fresh is zero --
@@ -126,9 +131,11 @@ def check_cover(
             heapq.heappush(heap, (-fresh_gain, tie, j))
             continue
         selected.append(j)
-        for i in sigma[j]:
-            covered[i] = True
-        if all(covered):
+        for i in members:
+            if not covered[i]:
+                covered[i] = True
+                n_covered += 1
+        if n_covered == n_customers:
             break
 
     reg = metrics.active()

@@ -26,6 +26,8 @@ from repro.network.graph import Network
 from repro.network.incremental import StreamCursor, StreamPool
 from repro.obs import metrics
 
+_MATERIALIZE_COUNTERS = metrics.CounterBlock("incremental.edges_materialized")
+
 
 class _FilteredCursor:
     """A stream cursor restricted to a subset of facility nodes.
@@ -160,9 +162,11 @@ class BipartiteState:
         j = self._fac_index_of_node[node]
         self.edges[i][j] = dist
         self.edges_materialized += 1
-        reg = metrics.active()
-        reg.counter("incremental.edges_materialized").add()
-        reg.gauge("bipartite.peak_edges").set_max(self.edges_materialized)
+        (c_edges,) = _MATERIALIZE_COUNTERS.get()
+        c_edges.add()
+        metrics.active().gauge("bipartite.peak_edges").set_max(
+            self.edges_materialized
+        )
         return j
 
     # ------------------------------------------------------------------

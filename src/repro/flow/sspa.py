@@ -49,6 +49,9 @@ from repro.obs import metrics
 INF = math.inf
 _EPS = 1e-9
 
+_DIJKSTRA_COUNTERS = metrics.CounterBlock("sspa.dijkstra_runs", "sspa.pops")
+_REVEAL_COUNTERS = metrics.CounterBlock("sspa.reveals")
+
 
 class ThresholdRule(Enum):
     """Which pruning bound FindPair uses to stop revealing edges."""
@@ -104,8 +107,8 @@ def _residual_dijkstra(
     heap: list[tuple[float, int]] = [(0.0, source)]
     heappush, heappop = heapq.heappush, heapq.heappop
     state.dijkstra_runs += 1
-    reg = metrics.active()
-    reg.counter("sspa.dijkstra_runs").add()
+    c_runs, c_pops = _DIJKSTRA_COUNTERS.get()
+    c_runs.add()
     pops = 0
 
     while heap:
@@ -118,7 +121,7 @@ def _residual_dijkstra(
         if u >= m:
             j = u - m
             if not state.is_full(j):
-                reg.counter("sspa.pops").add(pops)
+                c_pops.add(pops)
                 return dist, parent, settled, j, d
             # Full facility: relax backward arcs to its matched customers.
             pj = fac_p[j]
@@ -143,7 +146,7 @@ def _residual_dijkstra(
                     dist[v] = nd
                     parent[v] = u
                     heappush(heap, (nd, v))
-    reg.counter("sspa.pops").add(pops)
+    c_pops.add(pops)
     return dist, parent, settled, None, INF
 
 
@@ -236,7 +239,8 @@ def find_pair(
                 f"customer {customer} cannot reach any facility with free "
                 f"capacity"
             )
-        metrics.active().counter("sspa.reveals").add()
+        (c_reveals,) = _REVEAL_COUNTERS.get()
+        c_reveals.add()
         revealed = state.materialize_next(best_customer)
         # The cursor peeked non-inf distance, so a facility must exist.
         assert revealed is not None

@@ -2,9 +2,12 @@
 
 This subpackage implements the road-network layer the paper's algorithms
 run on: a compact weighted-graph representation (:class:`~repro.network.graph.Network`),
-Dijkstra variants (:mod:`repro.network.dijkstra`), resumable nearest-facility
-streams (:mod:`repro.network.incremental`), and connected-component
-bookkeeping (:mod:`repro.network.components`).
+Dijkstra variants (:mod:`repro.network.dijkstra`), preallocated batched
+kernels (:mod:`repro.network.kernels`), process-parallel fan-out
+(:mod:`repro.network.parallel`), a cross-run distance cache
+(:mod:`repro.network.distcache`), resumable nearest-facility streams
+(:mod:`repro.network.incremental`), and connected-component bookkeeping
+(:mod:`repro.network.components`).
 """
 
 from repro.network.components import (
@@ -21,6 +24,9 @@ from repro.network.dijkstra import (
     distance_matrix,
     nearest_of,
 )
+from repro.network.distcache import DistanceCache
+from repro.network.kernels import DijkstraWorkspace, many_source_lengths
+from repro.network.parallel import ParallelDistanceEngine, resolve_workers
 from repro.network.subgraph import (
     SubgraphMapping,
     giant_component_instance,
@@ -41,6 +47,11 @@ __all__ = [
     "multi_source_lengths",
     "distance_matrix",
     "nearest_of",
+    "DijkstraWorkspace",
+    "many_source_lengths",
+    "ParallelDistanceEngine",
+    "resolve_workers",
+    "DistanceCache",
     "astar_distance",
     "VoronoiPartition",
     "voronoi_cells",

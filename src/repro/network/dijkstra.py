@@ -12,6 +12,16 @@ The paper's algorithms need several flavours of Dijkstra:
 All of them run over the CSR arrays of :class:`Network` with a binary heap
 and lazy deletion, the standard textbook approach that performs well in
 pure Python.
+
+Two implementations coexist.  ``_run`` is the simple per-call reference
+loop (fresh arrays every call); the batched entry points --
+:func:`distance_matrix`, :func:`multi_source_lengths`,
+:func:`eccentricity_bound` -- delegate to the preallocated
+:class:`~repro.network.kernels.DijkstraWorkspace` kernel, which produces
+bit-identical distances without the per-call allocation.
+:func:`distance_matrix` additionally supports process-parallel fan-out
+(``workers=``, see :mod:`repro.network.parallel`) and consults the
+active :mod:`repro.network.distcache` cache when one is installed.
 """
 
 from __future__ import annotations
@@ -24,7 +34,9 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import GraphError
+from repro.network import distcache as _distcache
 from repro.network.graph import Network
+from repro.network.kernels import many_source_lengths, workspace_for
 from repro.obs import metrics
 
 INF = math.inf
@@ -75,28 +87,41 @@ def _run(
     radius: float = INF,
     max_settled: int | None = None,
 ) -> DijkstraResult:
-    """Core Dijkstra loop shared by the public entry points.
+    """Core per-call Dijkstra loop (the legacy reference implementation).
 
     ``targets`` enables early exit once every target is settled; ``radius``
     prunes the search past a distance bound; ``max_settled`` caps the
-    number of settled nodes.
+    number of settled nodes.  ``targets`` is treated as read-only: the
+    run counts down settled targets instead of consuming a copied set.
+
+    The loop works on the plain-list CSR mirror and pushes only plain
+    Python floats/ints into the heap -- numpy scalar boxing on heap
+    comparisons used to dominate the cost of this function.
     """
-    indptr, indices, weights = network.csr
+    indptr, indices, weights = network.csr_lists
     n = network.n_nodes
-    dist = np.full(n, INF)
-    parent = np.full(n, -1, dtype=np.int64)
+    dist: list[float] = [INF] * n
+    parent: list[int] = [-1] * n
     settled_order: list[int] = []
-    done = np.zeros(n, dtype=bool)
+    done: list[bool] = [False] * n
 
     heap: list[tuple[float, int]] = []
     for s in sources:
+        s = int(s)
         if not (0 <= s < n):
             raise GraphError(f"source {s} outside 0..{n - 1}")
         if dist[s] > 0.0:
             dist[s] = 0.0
             heapq.heappush(heap, (0.0, s))
 
-    remaining = set(targets) if targets is not None else None
+    if targets is not None:
+        target_set = (
+            targets if isinstance(targets, (set, frozenset)) else set(targets)
+        )
+        remaining = len(target_set)
+    else:
+        target_set = None
+        remaining = -1
     heappush, heappop = heapq.heappush, heapq.heappop
     # Batched instrumentation: locals in the loop, one flush on return.
     pops = 0
@@ -109,9 +134,10 @@ def _run(
             continue
         done[u] = True
         settled_order.append(u)
-        if remaining is not None:
-            remaining.discard(u)
-            if not remaining:
+        if remaining >= 0:
+            if u in target_set:
+                remaining -= 1
+            if remaining <= 0:
                 break
         if max_settled is not None and len(settled_order) >= max_settled:
             break
@@ -130,7 +156,11 @@ def _run(
     reg.counter("dijkstra.pops").add(pops)
     reg.counter("dijkstra.relaxations").add(relaxations)
     reg.counter("dijkstra.settled").add(len(settled_order))
-    return DijkstraResult(dist=dist, parent=parent, settled=settled_order)
+    return DijkstraResult(
+        dist=np.asarray(dist, dtype=np.float64),
+        parent=np.asarray(parent, dtype=np.int64),
+        settled=settled_order,
+    )
 
 
 def shortest_path_lengths(
@@ -174,12 +204,19 @@ def shortest_path(
 
 
 def multi_source_lengths(
-    network: Network, sources: Iterable[int], *, radius: float = INF
+    network: Network,
+    sources: Iterable[int],
+    *,
+    radius: float = INF,
+    workers: int | None = None,
 ) -> DijkstraResult:
     """Distances from each node to its nearest source.
 
     Used to compute, e.g., the distance from every node to the nearest
-    selected facility in one sweep.
+    selected facility in one sweep.  Runs on the preallocated workspace
+    kernel; with ``workers > 1`` (or ``REPRO_WORKERS`` set) and enough
+    work, the sweep fans out per connected component across a process
+    pool (identical distances; see :mod:`repro.network.parallel`).
     """
     source_list = [int(s) for s in sources]
     if not source_list:
@@ -187,30 +224,78 @@ def multi_source_lengths(
         return DijkstraResult(
             dist=np.full(n, INF), parent=np.full(n, -1, dtype=np.int64)
         )
-    return _run(network, source_list, radius=radius)
+    from repro.network.parallel import ParallelDistanceEngine, resolve_workers
+
+    if resolve_workers(workers) > 1:
+        with ParallelDistanceEngine(network, workers) as engine:
+            dist, parent, settled = engine.multi_source_lengths(
+                source_list, radius=radius
+            )
+        return DijkstraResult(dist=dist, parent=parent, settled=settled)
+    ws = workspace_for(network)
+    ws.run(source_list, radius=radius)
+    return DijkstraResult(
+        dist=ws.dist_array(),
+        parent=ws.parent_array(),
+        settled=list(ws.settled()),
+    )
 
 
 def distance_matrix(
     network: Network,
     sources: Sequence[int],
     targets: Sequence[int],
+    *,
+    workers: int | None = None,
+    cache: "_distcache.DistanceCache | bool | None" = None,
 ) -> np.ndarray:
     """Shortest-path distance matrix between two node sets.
 
-    Runs one early-exit Dijkstra per source.  Entry ``[i, j]`` is the
-    distance from ``sources[i]`` to ``targets[j]`` (``inf`` if
-    unreachable).  This is the input to the exact MILP solver and to
-    brute-force reference checks in tests.
+    Runs one early-exit Dijkstra per source on the preallocated
+    workspace kernel.  Entry ``[i, j]`` is the distance from
+    ``sources[i]`` to ``targets[j]`` (``inf`` if unreachable).  This is
+    the input to the exact MILP solver and to brute-force reference
+    checks in tests.
+
+    Parameters
+    ----------
+    workers:
+        Process count for fanning source chunks across a pool (default:
+        the ``REPRO_WORKERS`` environment variable, else serial).  Small
+        calls fall back to the serial kernel; results are bit-identical
+        either way.
+    cache:
+        ``None`` consults the active :mod:`repro.network.distcache`
+        scope; a :class:`~repro.network.distcache.DistanceCache` uses
+        that cache explicitly; ``False`` disables caching.  The cached
+        path serves rows from memoized full single-source runs (same
+        distances, reusable across solver calls).
     """
-    target_arr = np.asarray(targets, dtype=np.int64)
-    matrix = np.empty((len(sources), len(target_arr)), dtype=np.float64)
-    target_set = set(int(t) for t in target_arr)
-    for i, s in enumerate(sources):
-        # Early exit is only sound when all targets can be settled; when the
-        # network is disconnected the run simply exhausts the component.
-        result = _run(network, [int(s)], targets=set(target_set))
-        matrix[i, :] = result.dist[target_arr]
-    return matrix
+    source_list = [int(s) for s in sources]
+    target_arr = np.asarray([int(t) for t in targets], dtype=np.int64)
+
+    if cache is None:
+        cache_obj = _distcache.active()
+    elif isinstance(cache, _distcache.DistanceCache):
+        cache_obj = cache
+    else:
+        cache_obj = None
+    if cache_obj is not None:
+        matrix = np.empty((len(source_list), len(target_arr)), dtype=np.float64)
+        for i, s in enumerate(source_list):
+            matrix[i, :] = cache_obj.lengths(network, s)[target_arr]
+        return matrix
+
+    from repro.network.parallel import ParallelDistanceEngine, resolve_workers
+
+    if resolve_workers(workers) > 1:
+        with ParallelDistanceEngine(network, workers) as engine:
+            return engine.distance_matrix(source_list, target_arr)
+    # Early exit is only sound when all targets can be settled; when the
+    # network is disconnected the run simply exhausts the component.
+    return many_source_lengths(
+        network, [[s] for s in source_list], targets=target_arr
+    )
 
 
 def nearest_of(
@@ -225,15 +310,17 @@ def nearest_of(
     target_set = {int(t) for t in targets}
     if not target_set:
         return None
-    indptr, indices, weights = network.csr
+    indptr, indices, weights = network.csr_lists
     dist: dict[int, float] = {int(source): 0.0}
     done: set[int] = set()
     heap: list[tuple[float, int]] = [(0.0, int(source))]
+    heappush, heappop = heapq.heappush, heapq.heappop
+    dist_get = dist.get
     pops = 0
     relaxations = 0
     found: tuple[int, float] | None = None
     while heap:
-        d, u = heapq.heappop(heap)
+        d, u = heappop(heap)
         pops += 1
         if u in done:
             continue
@@ -242,12 +329,12 @@ def nearest_of(
             found = (u, d)
             break
         for pos in range(indptr[u], indptr[u + 1]):
-            v = int(indices[pos])
+            v = indices[pos]
             nd = d + weights[pos]
-            if nd < dist.get(v, INF):
+            if nd < dist_get(v, INF):
                 dist[v] = nd
                 relaxations += 1
-                heapq.heappush(heap, (nd, v))
+                heappush(heap, (nd, v))
     reg = metrics.active()
     reg.counter("dijkstra.runs").add()
     reg.counter("dijkstra.pops").add(pops)
@@ -260,7 +347,10 @@ def eccentricity_bound(network: Network, source: int) -> float:
     """Largest finite shortest-path distance from ``source``.
 
     A convenience used by data generators and tests to scale radii.
+    Runs on the workspace kernel; settlement order is non-decreasing in
+    distance, so the eccentricity is the last settled node's distance.
     """
-    result = _run(network, [source])
-    finite = result.dist[np.isfinite(result.dist)]
-    return float(finite.max()) if finite.size else 0.0
+    ws = workspace_for(network)
+    ws.run([int(source)])
+    settled = ws.settled()
+    return float(ws.dist_of(settled[-1])) if settled else 0.0

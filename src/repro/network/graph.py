@@ -13,8 +13,9 @@ the paper permits directed networks.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -109,6 +110,8 @@ class Network:
                     f"coords must have shape ({self._n}, 2), got {coords.shape}"
                 )
         self._coords = coords
+        self._csr_lists: tuple[list, list, list] | None = None
+        self._fingerprint: str | None = None
 
     @staticmethod
     def _build_csr(
@@ -181,6 +184,48 @@ class Network:
         Exposed for the hot Dijkstra loops; treat as read-only.
         """
         return self._indptr, self._indices, self._weights
+
+    @property
+    def csr_lists(self) -> tuple[list[int], list[int], list[float]]:
+        """The CSR arrays as plain Python lists, built once and cached.
+
+        Pure-Python shortest-path loops index these arrays millions of
+        times; plain lists avoid the numpy scalar boxing that dominates
+        the cost of ``indices[pos]``-style element access.  The lists
+        trade one extra copy of the adjacency for roughly a 2x faster
+        inner loop; treat as read-only.
+        """
+        if self._csr_lists is None:
+            self._csr_lists = (
+                self._indptr.tolist(),
+                self._indices.tolist(),
+                self._weights.tolist(),
+            )
+        return self._csr_lists
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable content hash of the graph structure.
+
+        Covers node count, directedness, and the CSR arrays; two networks
+        with identical adjacency share a fingerprint.  Used as the cache
+        key namespace by :mod:`repro.network.distcache`.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(f"{self._n}:{int(self._directed)}".encode())
+            digest.update(self._indptr.tobytes())
+            digest.update(self._indices.tobytes())
+            digest.update(self._weights.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def __getstate__(self) -> dict[str, Any]:
+        # The list mirror of the CSR arrays is a pure cache; rebuilding it
+        # on the other side is cheaper than pickling it.
+        state = self.__dict__.copy()
+        state["_csr_lists"] = None
+        return state
 
     def neighbors(self, node: int) -> Iterator[tuple[int, float]]:
         """Yield ``(neighbor, weight)`` pairs of ``node``."""

@@ -32,6 +32,10 @@ from repro.obs import metrics
 
 INF = math.inf
 
+_ADVANCE_COUNTERS = metrics.CounterBlock(
+    "incremental.pops", "incremental.relaxations", "incremental.settled"
+)
+
 
 class NearestFacilityStream:
     """Incremental Dijkstra from one source node, filtered to facilities.
@@ -52,7 +56,9 @@ class NearestFacilityStream:
     ) -> None:
         self._source = int(source)
         self._facility_set = frozenset(int(f) for f in facility_nodes)
-        self._indptr, self._indices, self._weights = network.csr
+        # Plain-list CSR mirror: the resumable loop in _advance indexes
+        # these arrays per edge, where numpy scalar boxing dominates.
+        self._indptr, self._indices, self._weights = network.csr_lists
         self._dist: dict[int, float] = {self._source: 0.0}
         self._done: set[int] = set()
         self._heap: list[tuple[float, int]] = [(0.0, self._source)]
@@ -108,7 +114,7 @@ class NearestFacilityStream:
                 settled += 1
                 lo, hi = indptr[u], indptr[u + 1]
                 for pos in range(lo, hi):
-                    v = int(indices[pos])
+                    v = indices[pos]
                     nd = d + weights[pos]
                     if nd < dist.get(v, INF):
                         dist[v] = nd
@@ -119,10 +125,10 @@ class NearestFacilityStream:
                     return
             self._exhausted = True
         finally:
-            reg = metrics.active()
-            reg.counter("incremental.pops").add(pops)
-            reg.counter("incremental.relaxations").add(relaxations)
-            reg.counter("incremental.settled").add(settled)
+            c_pops, c_relax, c_settled = _ADVANCE_COUNTERS.get()
+            c_pops.add(pops)
+            c_relax.add(relaxations)
+            c_settled.add(settled)
 
 
 class StreamCursor:
@@ -150,15 +156,25 @@ class StreamCursor:
 
     def peek(self) -> tuple[int, float] | None:
         """Next ``(facility_node, distance)`` without consuming it."""
-        return self._stream.facility_at(self._rank)
+        # Fast path: the facility was already revealed by an earlier
+        # advance (the common case under Algorithm 2's repeated peeks).
+        found = self._stream._found
+        rank = self._rank
+        if rank < len(found):
+            return found[rank]
+        return self._stream.facility_at(rank)
 
     def peek_distance(self) -> float:
         """Distance of the next facility, or ``inf`` when exhausted."""
-        return self._stream.distance_at(self._rank)
+        found = self._stream._found
+        rank = self._rank
+        if rank < len(found):
+            return found[rank][1]
+        return self._stream.distance_at(rank)
 
     def take(self) -> tuple[int, float] | None:
         """Consume and return the next ``(facility_node, distance)``."""
-        item = self._stream.facility_at(self._rank)
+        item = self.peek()
         if item is not None:
             self._rank += 1
         return item

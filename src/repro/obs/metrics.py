@@ -113,10 +113,11 @@ class Registry:
     different kind raises ``ValueError``.
     """
 
-    __slots__ = ("_instruments",)
+    __slots__ = ("_instruments", "_version")
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Timer] = {}
+        self._version = 0
 
     def _get(self, name: str, cls: type) -> Any:
         inst = self._instruments.get(name)
@@ -164,6 +165,7 @@ class Registry:
     def reset(self) -> None:
         """Drop every instrument (fresh-run state)."""
         self._instruments.clear()
+        self._version += 1  # invalidates CounterBlock caches
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
@@ -173,6 +175,36 @@ class Registry:
 
     def __repr__(self) -> str:
         return f"Registry({len(self._instruments)} instruments)"
+
+
+class CounterBlock:
+    """A bundle of counters re-resolved only when the active registry changes.
+
+    Hot flush sites (`incremental._advance`, ``sspa._residual_dijkstra``)
+    look the same few counters up thousands of times per solve; the name
+    lookups dominate the cost of the flush itself.  A ``CounterBlock``
+    caches the resolved :class:`Counter` objects and revalidates with two
+    cheap identity checks per call -- the active registry and its reset
+    version -- so swapping registries (:func:`use`) or calling
+    :meth:`Registry.reset` always takes effect on the next flush.
+    """
+
+    __slots__ = ("_names", "_reg", "_version", "_counters")
+
+    def __init__(self, *names: str) -> None:
+        self._names = names
+        self._reg: Registry | None = None
+        self._version = -1
+        self._counters: tuple[Counter, ...] = ()
+
+    def get(self) -> tuple[Counter, ...]:
+        """The counters in declaration order, from the active registry."""
+        reg = _active
+        if reg is not self._reg or reg._version != self._version:
+            self._reg = reg
+            self._version = reg._version
+            self._counters = tuple(reg.counter(n) for n in self._names)
+        return self._counters
 
 
 # ----------------------------------------------------------------------

@@ -26,11 +26,13 @@ against committed baselines so CI can gate on counter regressions; see
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.network import distcache
 from repro.obs import metrics, tracing
 
 
@@ -83,6 +85,8 @@ def profile_solver(
     registry: metrics.Registry | None = None,
     trace: tracing.Trace | None = None,
     validate: bool = True,
+    workers: int | None = None,
+    distance_cache: bool = True,
     **solver_kwargs: Any,
 ) -> ProfileReport:
     """Run ``method`` on ``instance`` under full observability.
@@ -102,18 +106,36 @@ def profile_solver(
         profiled scope (a ``validate`` span).  The audit recomputes the
         objective from raw network Dijkstras, so its ``dijkstra.*``
         counters appear in the report alongside the solver's own.
+    workers:
+        Process count forwarded to solvers that accept one (see
+        :data:`repro.bench.harness.WORKER_AWARE_METHODS`); ignored for
+        the rest.  The profiled objective is identical for any count.
+    distance_cache:
+        Run under a fresh :class:`~repro.network.distcache.DistanceCache`
+        scope so ``distcache.*`` counters appear in the report (all
+        zeros when the solver never consults the cache).
     solver_kwargs:
         Forwarded to the solver (``seed``, ``time_limit``, ...).
     """
     # Local import: repro's __init__ imports obs-instrumented modules.
     from repro import SOLVERS, validate_solution
+    from repro.bench.harness import WORKER_AWARE_METHODS
 
     solver = SOLVERS[method]
     reg = registry if registry is not None else metrics.Registry()
     tr = trace if trace is not None else tracing.Trace()
+    if workers is not None and method in WORKER_AWARE_METHODS:
+        solver_kwargs = {**solver_kwargs, "workers": workers}
+    cache_scope = (
+        distcache.use(distcache.DistanceCache())
+        if distance_cache
+        else contextlib.nullcontext()
+    )
 
     started = time.perf_counter()
-    with metrics.use(reg), tracing.use(tr):
+    # Enter the metrics scope first so the cache scope's counter priming
+    # lands in this report's registry.
+    with metrics.use(reg), tracing.use(tr), cache_scope:
         with tr.span("solve", method=method):
             solution = solver(instance, **solver_kwargs)
         if validate:

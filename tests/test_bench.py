@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
+import io
+import json
+
 import pytest
 
 from repro.bench.harness import (
     BenchRow,
     best_objective,
+    load_rows,
     objective_ratios,
     run_solvers,
+    save_rows,
     solver_row,
 )
 from repro.bench.reporting import (
@@ -82,6 +87,34 @@ class TestRunSolvers:
         ratios = objective_ratios(rows)
         assert ratios["hilbert"] == pytest.approx(2.0)
         assert "exact" not in ratios
+
+
+class TestRowPersistence:
+    def test_round_trip(self):
+        rows = [
+            BenchRow("a", "wma", 10.0, 0.1, params={"n": 5}),
+            BenchRow("a", "exact", None, None, status="timeout"),
+        ]
+        buf = io.StringIO()
+        save_rows(rows, buf)
+        buf.seek(0)
+        loaded = load_rows(buf)
+        assert [r.as_record() for r in loaded] == [
+            r.as_record() for r in rows
+        ]
+
+    def test_load_ignores_unknown_keys(self):
+        # Rows written by a newer harness may carry extra fields; the
+        # reader must skip them instead of crashing.
+        row = BenchRow("a", "wma", 10.0, 0.1, metrics={"dijkstra.runs": 3})
+        records = [row.as_record()]
+        records[0]["future_field"] = {"nested": True}
+        buf = io.StringIO(json.dumps(records))
+        loaded = load_rows(buf)
+        assert len(loaded) == 1
+        assert loaded[0].objective == 10.0
+        assert loaded[0].metrics == {"dijkstra.runs": 3}
+        assert not hasattr(loaded[0], "future_field")
 
 
 class TestReporting:

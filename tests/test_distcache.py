@@ -1,0 +1,150 @@
+"""Distance-cache correctness: cached runs must change nothing but speed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_solvers
+from repro.network import distcache
+from repro.network.dijkstra import distance_matrix
+from repro.network.distcache import DistanceCache
+from repro.obs import metrics
+
+from tests.conftest import (
+    build_random_instance,
+    build_random_network,
+    build_two_component_network,
+)
+
+
+class TestDistanceCache:
+    def test_cached_matrix_identical(self):
+        network = build_random_network(50, seed=0)
+        sources, targets = [0, 7, 13], [1, 2, 30, 49]
+        plain = distance_matrix(network, sources, targets)
+        cache = DistanceCache()
+        cached_cold = distance_matrix(
+            network, sources, targets, cache=cache
+        )
+        cached_warm = distance_matrix(
+            network, sources, targets, cache=cache
+        )
+        assert np.array_equal(plain, cached_cold)
+        assert np.array_equal(plain, cached_warm)
+
+    def test_hit_miss_counters(self):
+        network = build_random_network(30, seed=1)
+        cache = DistanceCache()
+        reg = metrics.Registry()
+        with metrics.use(reg):
+            distance_matrix(network, [0, 5], [1, 2], cache=cache)
+            distance_matrix(network, [0, 5, 9], [3], cache=cache)
+        counts = reg.as_dict()
+        assert counts["distcache.misses"] == 3  # sources 0, 5, 9
+        assert counts["distcache.hits"] == 2  # 0 and 5 reused
+        assert cache.stats()["misses"] == 3
+        assert cache.stats()["hits"] == 2
+
+    def test_lru_eviction(self):
+        network = build_random_network(20, seed=2)
+        cache = DistanceCache(max_entries=2)
+        cache.lengths(network, 0)
+        cache.lengths(network, 1)
+        cache.lengths(network, 0)  # refresh 0; 1 is now LRU
+        cache.lengths(network, 2)  # evicts 1
+        assert (network.fingerprint, 0) in cache
+        assert (network.fingerprint, 1) not in cache
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_entries_are_read_only(self):
+        network = build_random_network(15, seed=3)
+        cache = DistanceCache()
+        entry = cache.lengths(network, 0)
+        with pytest.raises(ValueError):
+            entry[0] = -1.0
+
+    def test_distinct_networks_never_collide(self):
+        # Same node count, different weights: the fingerprint keys must
+        # keep their vectors apart.
+        a = build_random_network(25, seed=4)
+        b = build_random_network(25, seed=5)
+        cache = DistanceCache()
+        da = cache.lengths(a, 0)
+        db = cache.lengths(b, 0)
+        assert cache.stats()["misses"] == 2
+        assert not np.array_equal(da, db)
+
+    def test_disconnected_inf_preserved(self):
+        network = build_two_component_network()
+        cache = DistanceCache()
+        plain = distance_matrix(network, [0], [3, 4, 5])
+        cached = distance_matrix(network, [0], [3, 4, 5], cache=cache)
+        assert np.all(np.isinf(plain))
+        assert np.array_equal(plain, cached)
+
+    def test_clear_keeps_stats(self):
+        network = build_random_network(10, seed=6)
+        cache = DistanceCache()
+        cache.lengths(network, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 1
+
+
+class TestActiveScope:
+    def test_use_installs_and_restores(self):
+        assert distcache.active() is None
+        cache = DistanceCache()
+        with distcache.use(cache):
+            assert distcache.active() is cache
+            inner = DistanceCache()
+            with distcache.use(inner):
+                assert distcache.active() is inner
+            assert distcache.active() is cache
+        assert distcache.active() is None
+
+    def test_scope_primes_counters(self):
+        reg = metrics.Registry()
+        with metrics.use(reg), distcache.use(DistanceCache()):
+            pass
+        counts = reg.as_dict()
+        assert counts["distcache.hits"] == 0
+        assert counts["distcache.misses"] == 0
+        assert counts["distcache.evictions"] == 0
+
+    def test_distance_matrix_consults_active_scope(self):
+        network = build_random_network(20, seed=7)
+        cache = DistanceCache()
+        with distcache.use(cache):
+            distance_matrix(network, [0, 1], [2, 3])
+        assert cache.stats()["misses"] == 2
+
+    def test_explicit_false_disables_caching(self):
+        network = build_random_network(20, seed=8)
+        cache = DistanceCache()
+        with distcache.use(cache):
+            distance_matrix(network, [0], [1], cache=False)
+        assert cache.stats()["misses"] == 0
+
+
+class TestHarnessIntegration:
+    def test_run_solvers_objectives_unchanged_by_cache(self):
+        inst = build_random_instance(6, cap_range=(3, 6))
+        methods = ["exact", "brnn", "kmedian-ls"]
+        plain = run_solvers(inst, methods)
+        cached = run_solvers(inst, methods, distance_cache=True)
+        for p, c in zip(plain, cached):
+            assert c.objective == p.objective
+            assert c.status == p.status == "ok"
+
+    def test_run_solvers_shared_cache_records_hits(self):
+        inst = build_random_instance(7, cap_range=(3, 6))
+        cache = DistanceCache()
+        run_solvers(inst, ["exact", "kmedian-ls"], distance_cache=cache)
+        stats = cache.stats()
+        assert stats["misses"] > 0
+        # Both solvers query distances from shared customer/candidate
+        # nodes, so the second solver must hit the first one's entries.
+        assert stats["hits"] > 0

@@ -9,12 +9,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.network.dijkstra import distance_matrix
+from repro.network.dijkstra import _run, distance_matrix
 from repro.network.incremental import (
     NearestFacilityStream,
     StreamCursor,
     StreamPool,
 )
+from repro.obs import metrics
 
 from tests.conftest import (
     build_line_network,
@@ -130,6 +131,36 @@ class TestPool:
         g = build_line_network(10)
         pool = StreamPool(g, [5, 7])
         assert pool.facility_nodes == (5, 7)
+
+    def test_interleaved_cursors_bounded_by_full_dijkstras(self):
+        # The whole point of sharing streams: however many cursors
+        # interleave over however many ranks, the pool never does more
+        # heap pops in total than one *full* Dijkstra per distinct
+        # source would.
+        g = build_random_network(40, seed=9)
+        facilities = list(range(0, 40, 4))
+        sources = [1, 7, 19]
+
+        reg = metrics.Registry()
+        with metrics.use(reg):
+            pool = StreamPool(g, facilities)
+            cursors = [pool.cursor_for(s) for s in sources]
+            cursors += [pool.cursor_for(s) for s in sources]  # duplicates
+            exhausted = False
+            while not exhausted:
+                exhausted = True
+                for cursor in cursors:
+                    if cursor.take() is not None:
+                        exhausted = False
+        stream_pops = reg.as_dict().get("incremental.pops", 0)
+
+        full_reg = metrics.Registry()
+        with metrics.use(full_reg):
+            for s in sources:
+                _run(g, [s])
+        full_pops = full_reg.as_dict()["dijkstra.pops"]
+
+        assert stream_pops <= full_pops
 
 
 @settings(max_examples=20, deadline=None)
