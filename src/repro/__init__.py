@@ -46,6 +46,7 @@ from repro.core import (
     validate_solution,
 )
 from repro.errors import (
+    BudgetExceeded,
     GraphError,
     InfeasibleInstanceError,
     InvalidInstanceError,
@@ -54,6 +55,8 @@ from repro.errors import (
     SolverError,
 )
 from repro.network import Network
+from repro import runtime
+from repro.runtime import SolverOptions
 
 __version__ = "1.0.0"
 
@@ -71,7 +74,13 @@ SOLVERS: dict[str, Callable[..., MCFSSolution]] = {
 
 
 def solve(
-    instance: MCFSInstance, method: str = "wma", **kwargs
+    instance: MCFSInstance,
+    method: str = "wma",
+    *,
+    options: SolverOptions | dict | None = None,
+    deadline: float | None = None,
+    fallback: object = None,
+    **kwargs,
 ) -> MCFSSolution:
     """Solve an MCFS instance with the chosen algorithm.
 
@@ -84,22 +93,46 @@ def solve(
         Uniform-First variant), ``"wma-naive"``, ``"wma-ls"`` (WMA plus
         local-search refinement), ``"hilbert"``, ``"brnn"``,
         ``"random"``, or ``"exact"`` (MILP, small instances only).
+    options:
+        A :class:`SolverOptions` (or equivalent dict) accepted uniformly
+        by every method: ``seed``, ``time_limit``, ``workers``,
+        ``distance_cache``, plus solver-specific ``extras``.
+    deadline:
+        Overall wall-clock budget in seconds.  Implies fallback: when
+        the budget expires (or the method fails), the runtime falls
+        through the method's default chain (e.g. ``exact -> wma ->
+        hilbert``) and still returns a feasible solution;
+        ``solution.meta["runtime"]`` records what happened.
+    fallback:
+        Fallback chain control: ``None``/``"auto"`` use the default
+        chain for ``method`` (only engaged when a deadline or time limit
+        is set), ``False`` disables fallback, a comma-separated string
+        or sequence gives an explicit chain.
     kwargs:
         Forwarded to the specific solver (e.g. ``seed`` for randomized
-        baselines, ``time_limit`` for the exact solver).
+        baselines, ``time_limit`` for any method).
     """
-    try:
-        solver = SOLVERS[method]
-    except KeyError:
+    if method not in SOLVERS:
         raise ValueError(
             f"unknown method {method!r}; choose from {sorted(SOLVERS)}"
         ) from None
-    return solver(instance, **kwargs)
+    opts = runtime.normalize_options(method, options, kwargs)
+    limit = deadline if deadline is not None else opts.time_limit
+    if fallback is not None or limit is not None:
+        chain = runtime.chain_for(method, fallback)
+        if len(chain) > 1 or limit is not None:
+            result = runtime.solve_with_fallback(
+                instance, chain, deadline=deadline, options=opts
+            )
+            return result.solution
+    return SOLVERS[method](instance, options=opts)
 
 
 __all__ = [
     "solve",
     "SOLVERS",
+    "SolverOptions",
+    "runtime",
     "MCFSInstance",
     "MCFSSolution",
     "Network",
@@ -124,5 +157,6 @@ __all__ = [
     "InfeasibleInstanceError",
     "MatchingError",
     "SolverError",
+    "BudgetExceeded",
     "__version__",
 ]

@@ -36,6 +36,7 @@ from repro.network.dijkstra import (
     shortest_path_lengths,
 )
 from repro.network.parallel import ParallelDistanceEngine, resolve_workers
+from repro.runtime.options import solver_api
 
 
 def _first_facility(
@@ -79,6 +80,7 @@ def _nearest_selected(
     return multi_source_lengths(instance.network, selected_nodes).dist
 
 
+@solver_api("brnn", uses=("workers",))
 def solve_brnn(
     instance: MCFSInstance, *, workers: int | None = None
 ) -> MCFSSolution:

@@ -30,6 +30,9 @@ from repro.errors import InfeasibleInstanceError, SolverError
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
 from repro.network.dijkstra import distance_matrix
+from repro.runtime.budget import active as active_budget
+from repro.runtime.budget import checkpoint
+from repro.runtime.options import solver_api
 
 ExactSolution = MCFSSolution
 
@@ -54,6 +57,7 @@ def _build_problem(instance: MCFSInstance, workers: int | None = None):
     pairs: list[tuple[int, int]] = []
     costs_y: list[float] = []
     for i in range(m):
+        checkpoint()
         reachable = np.flatnonzero(np.isfinite(dist[i]))
         if reachable.size == 0:
             raise InfeasibleInstanceError(
@@ -108,6 +112,7 @@ def _build_problem(instance: MCFSInstance, workers: int | None = None):
     return costs, constraint, n_var, pairs
 
 
+@solver_api("exact", uses=("time_limit", "workers"), extras=("mip_gap",))
 def solve_exact(
     instance: MCFSInstance,
     *,
@@ -142,6 +147,16 @@ def solve_exact(
     """
     started = time.perf_counter()
     costs, constraint, n_var, pairs = _build_problem(instance, workers)
+    # HiGHS cannot be checkpointed, so hand it whatever wall-clock the
+    # active cooperative budget has left (the distance build above may
+    # have consumed part of it).
+    budget = active_budget()
+    if budget is not None:
+        remaining = max(0.01, budget.remaining())
+        time_limit = (
+            remaining if time_limit is None
+            else min(float(time_limit), remaining)
+        )
     options: dict[str, float] = {}
     if time_limit is not None:
         options["time_limit"] = float(time_limit)

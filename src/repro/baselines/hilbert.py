@@ -33,6 +33,7 @@ from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
 from repro.flow.sspa import assign_all
 from repro.geometry.hilbert_curve import hilbert_sort
+from repro.runtime.options import solver_api
 
 
 def _component_budgets(
@@ -109,8 +110,13 @@ def _component_budgets(
     ]
 
 
+@solver_api("hilbert")
 def solve_hilbert(instance: MCFSInstance) -> MCFSSolution:
     """Run the Hilbert bucketing baseline.
+
+    The terminal method of every default fallback chain: geometry-only
+    selection is cheap enough that the runtime runs it without budget
+    checkpoints, so it answers even on a fully consumed deadline.
 
     Raises
     ------

@@ -24,13 +24,16 @@ import time
 
 import numpy as np
 
-from repro.errors import MatchingError
+from repro.errors import BudgetExceeded, MatchingError
 from repro.core.instance import MCFSInstance
 from repro.core.provisions import cover_components
 from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
 from repro.flow.sspa import assign_all
 from repro.network.dijkstra import distance_matrix, multi_source_lengths
+from repro.obs import metrics
+from repro.runtime.budget import checkpoint, grace
+from repro.runtime.options import solver_api
 
 
 def _uncapacitated_cost(
@@ -139,6 +142,11 @@ def _greedy_init(
     return sorted(selected)
 
 
+@solver_api(
+    "kmedian-ls",
+    uses=("seed", "workers"),
+    extras=("max_rounds", "pool_size"),
+)
 def solve_kmedian_ls(
     instance: MCFSInstance,
     *,
@@ -169,29 +177,82 @@ def solve_kmedian_ls(
     check_feasibility(instance)
     rng = np.random.default_rng(seed)
 
-    selected = _greedy_init(instance, rng, pool_size, workers)
-    cost = _uncapacitated_cost(instance, selected)
+    selected: list[int] | None = None
+    cost = float("inf")
+    degraded = False
+    try:
+        selected = _greedy_init(instance, rng, pool_size, workers)
+        cost = _uncapacitated_cost(instance, selected)
 
-    for _ in range(max_rounds):
-        improved = False
-        for pos in range(len(selected)):
-            pool = _swap_candidates(instance, selected, rng, pool_size)
-            best_j, best_cost = None, cost
-            for j_new in pool:
-                trial = list(selected)
-                trial[pos] = j_new
-                trial_cost = _uncapacitated_cost(instance, trial)
-                if trial_cost < best_cost - 1e-9:
-                    best_j, best_cost = j_new, trial_cost
-            if best_j is not None:
-                selected[pos] = best_j
-                cost = best_cost
-                improved = True
-        if not improved:
-            break
+        for _ in range(max_rounds):
+            improved = False
+            for pos in range(len(selected)):
+                pool = _swap_candidates(instance, selected, rng, pool_size)
+                best_j, best_cost = None, cost
+                for j_new in pool:
+                    checkpoint()
+                    trial = list(selected)
+                    trial[pos] = j_new
+                    trial_cost = _uncapacitated_cost(instance, trial)
+                    if trial_cost < best_cost - 1e-9:
+                        best_j, best_cost = j_new, trial_cost
+                if best_j is not None:
+                    selected[pos] = best_j
+                    cost = best_cost
+                    improved = True
+            if not improved:
+                break
+    except BudgetExceeded:
+        # No feasible state to salvage before greedy seeding completes;
+        # past that point the current selection is as good as any swap
+        # round left it, so finish with it under grace.
+        if selected is None or len(selected) < instance.k:
+            raise
+        degraded = True
+        metrics.active().counter("runtime.degraded_returns").add()
     selected = sorted(selected)
 
-    # Confront reality: capacities and per-component coverage.
+    if degraded:
+        with grace():
+            selected, result, repaired = _capacity_finalize(
+                instance, selected
+            )
+    else:
+        try:
+            selected, result, repaired = _capacity_finalize(
+                instance, selected
+            )
+        except BudgetExceeded:
+            degraded = True
+            metrics.active().counter("runtime.degraded_returns").add()
+            with grace():
+                selected, result, repaired = _capacity_finalize(
+                    instance, selected
+                )
+
+    assignment = [selected[j_sub] for j_sub in result.assignment]
+    runtime = time.perf_counter() - started
+    meta = {
+        "algorithm": "kmedian-ls",
+        "runtime_sec": runtime,
+        "uncapacitated_cost": cost,
+        "selection_repaired": repaired,
+    }
+    if degraded:
+        meta["degraded"] = True
+    return MCFSSolution(
+        selected=tuple(selected),
+        assignment=tuple(assignment),
+        objective=result.cost,
+        meta=meta,
+    )
+
+
+def _capacity_finalize(instance: MCFSInstance, selected: list[int]):
+    """Confront reality: capacities and per-component coverage.
+
+    Returns ``(selected, assignment_result, repaired)``.
+    """
     repaired = False
     sub_nodes = [instance.facility_nodes[j] for j in selected]
     sub_caps = [instance.capacities[j] for j in selected]
@@ -207,17 +268,4 @@ def solve_kmedian_ls(
             instance.network, instance.customers, sub_nodes, sub_caps
         )
         repaired = True
-
-    assignment = [selected[j_sub] for j_sub in result.assignment]
-    runtime = time.perf_counter() - started
-    return MCFSSolution(
-        selected=tuple(selected),
-        assignment=tuple(assignment),
-        objective=result.cost,
-        meta={
-            "algorithm": "kmedian-ls",
-            "runtime_sec": runtime,
-            "uncapacitated_cost": cost,
-            "selection_repaired": repaired,
-        },
-    )
+    return selected, result, repaired

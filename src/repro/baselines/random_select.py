@@ -19,8 +19,10 @@ from repro.core.provisions import cover_components
 from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
 from repro.flow.sspa import assign_all
+from repro.runtime.options import solver_api
 
 
+@solver_api("random", uses=("seed",))
 def solve_random(instance: MCFSInstance, *, seed: int = 0) -> MCFSSolution:
     """Random-selection + optimal-assignment baseline."""
     started = time.perf_counter()

@@ -29,6 +29,7 @@ from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
 from repro.flow.sspa import assign_all
 from repro.network.incremental import StreamPool
+from repro.runtime.options import solver_api
 
 
 def _greedy_fill(
@@ -55,6 +56,7 @@ def _greedy_fill(
         want -= 1
 
 
+@solver_api("wma-naive", uses=("seed",))
 def solve_wma_naive(
     instance: MCFSInstance, *, seed: int = 0
 ) -> MCFSSolution:

@@ -124,6 +124,8 @@ def solver_row(
     label: str | None = None,
     params: dict[str, Any] | None = None,
     validate: bool = True,
+    deadline: float | None = None,
+    fallback: Any = None,
     **solver_kwargs,
 ) -> BenchRow:
     """Run one solver on one instance, never raising on solver failure.
@@ -131,6 +133,11 @@ def solver_row(
     Exact-solver time-outs become ``status="timeout"`` rows (the paper's
     "Gurobi failed" entries); other library errors become
     ``status="error"`` rows carrying the message.
+
+    ``deadline`` bounds the run's wall-clock and (with ``fallback``,
+    default the method's chain) degrades through the runtime's fallback
+    chain instead of failing; ``meta["runtime"]`` on the row records the
+    attempts.  ``runtime_sec`` is then the whole chain's wall time.
     """
     label = label or instance.name
     params = dict(params or {})
@@ -138,6 +145,30 @@ def solver_row(
     started = time.perf_counter()
     try:
         with obs_metrics.use(registry):
+            if deadline is not None or fallback is not None:
+                from repro import runtime
+
+                opts = runtime.normalize_options(
+                    method, None, solver_kwargs, warn_legacy=False
+                )
+                result = runtime.solve_with_fallback(
+                    instance,
+                    runtime.chain_for(method, fallback),
+                    deadline=deadline,
+                    options=opts,
+                    validate=validate,
+                )
+                solution = result.solution
+                return BenchRow(
+                    label=label,
+                    method=method,
+                    objective=solution.objective,
+                    runtime_sec=result.elapsed_sec,
+                    status="ok",
+                    params=params,
+                    meta=dict(solution.meta),
+                    metrics=registry.as_dict(),
+                )
             solution = SOLVERS[method](instance, **solver_kwargs)
     except SolverError as exc:
         return BenchRow(
@@ -186,6 +217,8 @@ def run_solvers(
     seeds: dict[str, int] | None = None,
     workers: int | None = None,
     distance_cache: "bool | distcache.DistanceCache | None" = None,
+    deadline: float | None = None,
+    fallback: Any = None,
 ) -> list[BenchRow]:
     """Run several solvers on an instance and return their rows.
 
@@ -209,6 +242,15 @@ def run_solvers(
         shared by every method in this line-up; an existing cache
         instance is used as-is (e.g. one shared across a parameter
         sweep).  Cached distances are bit-identical to fresh runs.
+    deadline:
+        Per-method wall-clock budget in seconds, enforced cooperatively
+        by the runtime for *every* method; with ``fallback`` (default:
+        each method's chain) a blown budget degrades to the next method
+        instead of producing a failed row.
+    fallback:
+        Fallback-chain control per :func:`repro.runtime.chain_for`:
+        ``None``/``"auto"`` for the default chains, ``False`` to
+        disable, or an explicit comma-separated chain.
     """
     if distance_cache is True:
         distance_cache = distcache.DistanceCache()
@@ -234,6 +276,8 @@ def run_solvers(
                     label=label,
                     params=params,
                     validate=validate,
+                    deadline=deadline,
+                    fallback=fallback,
                     **kwargs,
                 )
             )

@@ -69,7 +69,20 @@ def _build_parser() -> argparse.ArgumentParser:
     slv.add_argument("--seed", type=int, default=None)
     slv.add_argument(
         "--time-limit", type=float, default=None,
-        help="seconds (exact method only)",
+        help="wall-clock budget in seconds, enforced cooperatively for "
+        "every method (the exact method additionally passes it to HiGHS)",
+    )
+    slv.add_argument(
+        "--deadline", type=float, default=None,
+        help="overall wall-clock deadline in seconds; on expiry the "
+        "runtime degrades through the method's fallback chain and still "
+        "returns a feasible solution",
+    )
+    slv.add_argument(
+        "--fallback", default=None,
+        help="fallback chain: 'auto' (default chain for the method), "
+        "'none' to disable, or an explicit comma-separated list, e.g. "
+        "'wma,hilbert'",
     )
     slv.add_argument("-o", "--output", default=None, help="solution .json path")
 
@@ -81,6 +94,16 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument(
         "--methods", default="wma,hilbert,wma-naive",
         help="comma-separated solver names",
+    )
+    cmp_.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-method wall-clock deadline in seconds (cooperative; "
+        "expired methods degrade through their fallback chain)",
+    )
+    cmp_.add_argument(
+        "--fallback", default=None,
+        help="fallback chain: 'auto' (per-method default), 'none' to "
+        "disable, or an explicit comma-separated list",
     )
 
     ben = sub.add_parser("bench", help="regenerate a paper experiment")
@@ -178,15 +201,40 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fallback(raw: str | None):
+    """Map the ``--fallback`` flag onto :func:`repro.runtime.chain_for` input."""
+    if raw is None:
+        return None
+    value = raw.strip().lower()
+    if value in ("none", "off", "false"):
+        return False
+    if value == "auto":
+        return "auto"
+    return raw
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = load_instance(args.instance)
     kwargs = {}
-    if args.seed is not None and args.method in ("wma-naive", "random", "wma-ls"):
+    if args.seed is not None:
         kwargs["seed"] = args.seed
-    if args.time_limit is not None and args.method == "exact":
+    if args.time_limit is not None:
         kwargs["time_limit"] = args.time_limit
-    solution = solve(instance, method=args.method, **kwargs)
+    solution = solve(
+        instance,
+        method=args.method,
+        deadline=args.deadline,
+        fallback=_parse_fallback(args.fallback),
+        **kwargs,
+    )
     validate_solution(instance, solution)
+    runtime_meta = solution.meta.get("runtime")
+    if runtime_meta and runtime_meta.get("fallbacks"):
+        print(
+            f"note: {runtime_meta['requested']} fell back to "
+            f"{runtime_meta['method_used']} "
+            f"({runtime_meta['fallbacks']} failed attempt(s))"
+        )
     print(format_table([solution.summary_row()], title=instance.name))
     if args.output:
         save_solution(solution, args.output)
@@ -211,7 +259,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         return 2
     solutions = []
     for method in methods:
-        solution = solve(instance, method=method)
+        solution = solve(
+            instance,
+            method=method,
+            deadline=args.deadline,
+            fallback=_parse_fallback(args.fallback),
+        )
         validate_solution(instance, solution)
         solutions.append(solution)
     print(

@@ -160,6 +160,37 @@ class MCFSInstance:
             name=f"{self.name}|uniform-cap",
         )
 
+    def solve(
+        self,
+        method: str = "wma",
+        *,
+        options: object = None,
+        deadline: float | None = None,
+        fallback: object = None,
+        **kwargs,
+    ):
+        """Solve this instance -- the documented one-line entry point.
+
+        Equivalent to ``repro.solve(self, method, options=options,
+        deadline=deadline, fallback=fallback, **kwargs)``; see
+        :func:`repro.solve` for the parameters and
+        :class:`repro.SolverOptions` for the unified option surface.
+
+        >>> from repro.datagen import uniform_instance
+        >>> uniform_instance(64, seed=1).solve("hilbert").objective > 0
+        True
+        """
+        from repro import solve as _solve
+
+        return _solve(
+            self,
+            method,
+            options=options,
+            deadline=deadline,
+            fallback=fallback,
+            **kwargs,
+        )
+
     def describe(self) -> dict[str, float]:
         """Flat summary for reports."""
         return {

@@ -31,12 +31,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import MatchingError
+from repro.errors import BudgetExceeded, MatchingError
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
 from repro.flow.sspa import assign_all
 from repro.network.dijkstra import shortest_path_lengths
 from repro.network.incremental import StreamPool
+from repro.obs import metrics
+from repro.runtime.options import solver_api
 
 
 @dataclass
@@ -195,14 +197,29 @@ def refine_solution(
     return refined, report
 
 
+@solver_api(
+    "wma-ls",
+    uses=("seed",),
+    extras=("max_rounds", "demand_policy", "threshold_rule", "tie_breaking"),
+)
 def solve_wma_refined(
     instance: MCFSInstance, *, max_rounds: int = 5, seed: int = 0, **wma_kwargs
 ) -> MCFSSolution:
-    """Convenience: WMA followed by local-search refinement."""
-    from repro.core.wma import solve_wma
+    """Convenience: WMA followed by local-search refinement.
 
-    base = solve_wma(instance, **wma_kwargs)
-    refined, _ = refine_solution(
-        instance, base, max_rounds=max_rounds, seed=seed
-    )
+    Under a cooperative budget the refinement rounds are best-effort: a
+    budget expiry during refinement returns the (feasible) WMA base
+    solution, marked degraded.
+    """
+    from repro.core.wma import WMASolver
+
+    base = WMASolver(instance, **wma_kwargs).solve()
+    try:
+        refined, _ = refine_solution(
+            instance, base, max_rounds=max_rounds, seed=seed
+        )
+    except BudgetExceeded:
+        metrics.active().counter("runtime.degraded_returns").add()
+        base.meta["degraded"] = True
+        return base
     return refined

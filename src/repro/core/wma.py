@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import MatchingError
+from repro.errors import BudgetExceeded, MatchingError
 from repro.core.demand import DemandPolicy, SelectiveDemandPolicy
 from repro.core.instance import MCFSInstance
 from repro.core.provisions import cover_components, select_greedy
@@ -33,6 +33,8 @@ from repro.core.validation import check_feasibility
 from repro.flow.bipartite import BipartiteState
 from repro.flow.sspa import ThresholdRule, assign_all, find_pair
 from repro.obs import metrics, tracing
+from repro.runtime.budget import checkpoint, grace
+from repro.runtime.options import solver_api
 
 
 @dataclass
@@ -131,13 +133,94 @@ class WMASolver:
         max_demand = [l] * m
         last_used = [-1] * l
 
-        iteration = 0
-        selected: list[int] = []
-        fully_covered = False
         # Demands grow by >= 1 per non-final iteration, bounded by m * l.
         iteration_guard = m * l + 2
 
+        degraded = False
+        try:
+            self._main_loop(
+                state, demand, max_demand, last_used, iteration_guard
+            )
+        except BudgetExceeded:
+            # Budget ran out mid-exploration: salvage whatever selection
+            # the last completed cover pass produced (possibly empty --
+            # the provisions below then build a greedy one) and let the
+            # repair/assignment finalize run to completion under grace.
+            degraded = True
+            metrics.active().counter("runtime.degraded_returns").add()
+        iteration = self.trace.iterations
+        selected = list(self._selected)
+        fully_covered = self._fully_covered and not degraded
+
+        if degraded:
+            with grace():
+                selected, assignment, objective = self._finish(
+                    selected, fully_covered, state
+                )
+        else:
+            try:
+                selected, assignment, objective = self._finish(
+                    selected, fully_covered, state
+                )
+            except BudgetExceeded:
+                # Expired during the finalize itself: redo it under
+                # grace -- the result is still a complete assignment,
+                # only the exploration depth is what the budget allowed.
+                degraded = True
+                metrics.active().counter("runtime.degraded_returns").add()
+                with grace():
+                    selected, assignment, objective = self._finish(
+                        selected, False, state
+                    )
+
+        runtime = time.perf_counter() - started
+        reg = metrics.active()
+        reg.counter("wma.solves").add()
+        reg.counter("wma.iterations").add(iteration)
+        reg.gauge("bipartite.peak_edges").set_max(state.edges_materialized)
+        reg.timer("wma.solve").observe(runtime)
+        meta = {
+            "algorithm": "wma",
+            "runtime_sec": runtime,
+            "iterations": iteration,
+            "edges_materialized": state.edges_materialized,
+            "dijkstra_runs": state.dijkstra_runs,
+            "threshold_rule": self.threshold_rule.value,
+            "demand_policy": getattr(self.demand_policy, "name", "custom"),
+            "tie_breaking": self.tie_breaking,
+        }
+        if degraded:
+            meta["degraded"] = True
+        return MCFSSolution(
+            selected=tuple(selected),
+            assignment=tuple(assignment),
+            objective=objective,
+            meta=meta,
+        )
+
+    def _main_loop(
+        self,
+        state: BipartiteState,
+        demand: list[int],
+        max_demand: list[int],
+        last_used: list[int],
+        iteration_guard: int,
+    ) -> None:
+        """Algorithm 1's exploration loop (lines 2-9).
+
+        Leaves the best selection seen so far in ``self._selected`` /
+        ``self._fully_covered`` after every iteration, so a
+        :class:`BudgetExceeded` escaping a checkpoint still leaves a
+        salvageable state behind.
+        """
+        instance = self.instance
+        m, l, k = instance.m, instance.l, instance.k
+        iteration = 0
+        self._selected: list[int] = []
+        self._fully_covered = False
+
         while True:
+            checkpoint()
             with tracing.span("wma.iteration", k=iteration + 1):
                 t0 = time.perf_counter()
                 with tracing.span("wma.matching"):
@@ -173,8 +256,8 @@ class WMASolver:
             for j in cover.selected:
                 last_used[j] = iteration
 
-            selected = cover.selected
-            fully_covered = cover.fully_covered
+            self._selected = cover.selected
+            self._fully_covered = cover.fully_covered
             self.trace.covered.append(sum(cover.covered))
             self.trace.matching_time.append(t1 - t0)
             self.trace.cover_time.append(t2 - t1)
@@ -187,43 +270,24 @@ class WMASolver:
             for i in range(m):
                 demand[i] += deltas[i]
 
-        # Special provisions (Algorithm 1, lines 10-13).
+    def _finish(
+        self,
+        selected: list[int],
+        fully_covered: bool,
+        state: BipartiteState,
+    ) -> tuple[list[int], list[int], float]:
+        """Provisions + final optimal assignment (Algorithm 1, lines 10-15)."""
+        instance = self.instance
         with tracing.span("wma.provisions"):
-            if len(selected) < k:
+            if len(selected) < instance.k:
                 selected = select_greedy(instance, selected)
             if not fully_covered:
                 selected = cover_components(instance, selected)
-
-        # Final recursive phase: optimal assignment onto the selection
-        # (Algorithm 1, lines 14-15 with F_p = F).
         with tracing.span("wma.final_assign"):
             assignment, objective = _assign_to_selection(
                 instance, selected, state
             )
-
-        runtime = time.perf_counter() - started
-        reg = metrics.active()
-        reg.counter("wma.solves").add()
-        reg.counter("wma.iterations").add(iteration)
-        reg.gauge("bipartite.peak_edges").set_max(state.edges_materialized)
-        reg.timer("wma.solve").observe(runtime)
-        return MCFSSolution(
-            selected=tuple(selected),
-            assignment=tuple(assignment),
-            objective=objective,
-            meta={
-                "algorithm": "wma",
-                "runtime_sec": runtime,
-                "iterations": iteration,
-                "edges_materialized": state.edges_materialized,
-                "dijkstra_runs": state.dijkstra_runs,
-                "threshold_rule": self.threshold_rule.value,
-                "demand_policy": getattr(
-                    self.demand_policy, "name", "custom"
-                ),
-                "tie_breaking": self.tie_breaking,
-            },
-        )
+        return selected, assignment, objective
 
 
 def _assign_to_selection(
@@ -263,11 +327,17 @@ def _assign_to_selection(
     return assignment, result.cost
 
 
+@solver_api(
+    "wma", extras=("demand_policy", "threshold_rule", "tie_breaking")
+)
 def solve_wma(instance: MCFSInstance, **kwargs) -> MCFSSolution:
     """Solve an instance with WMA (Direct variant). See :class:`WMASolver`."""
     return WMASolver(instance, **kwargs).solve()
 
 
+@solver_api(
+    "wma-uf", extras=("demand_policy", "threshold_rule", "tie_breaking")
+)
 def solve_wma_uniform_first(
     instance: MCFSInstance, **kwargs
 ) -> MCFSSolution:
@@ -321,14 +391,17 @@ def solve_wma_uniform_first(
 
     assignment = [selected[j_sub] for j_sub in result.assignment]
     runtime = time.perf_counter() - started
+    meta = {
+        "algorithm": "wma-uf",
+        "runtime_sec": runtime,
+        "iterations": inner.meta.get("iterations"),
+        "selection_repaired": not cover_ok,
+    }
+    if inner.meta.get("degraded"):
+        meta["degraded"] = True
     return MCFSSolution(
         selected=tuple(selected),
         assignment=tuple(assignment),
         objective=result.cost,
-        meta={
-            "algorithm": "wma-uf",
-            "runtime_sec": runtime,
-            "iterations": inner.meta.get("iterations"),
-            "selection_repaired": not cover_ok,
-        },
+        meta=meta,
     )

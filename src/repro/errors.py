@@ -49,4 +49,22 @@ class MatchingError(ReproError):
 
 
 class SolverError(ReproError):
-    """Raised when the exact MILP backend fails or reports non-optimality."""
+    """Raised when the exact MILP backend fails or reports non-optimality.
+
+    Also the base class for solver-API misuse (unknown options passed to
+    a ``solve_*`` entry point) and for :class:`BudgetExceeded`, so one
+    ``except SolverError`` catches every "the solver could not finish"
+    condition.
+    """
+
+
+class BudgetExceeded(SolverError):
+    """Raised when a cooperative wall-clock budget expires mid-solve.
+
+    Solver hot loops call :func:`repro.runtime.budget.checkpoint`; once
+    the active :class:`repro.runtime.budget.Budget` deadline passes, the
+    next checkpoint raises this.  Solvers that hold a feasible partial
+    result catch it and return a degraded (best-so-far) solution; the
+    fallback chain in :mod:`repro.runtime.runner` catches whatever
+    propagates and falls through to the next method.
+    """

@@ -45,6 +45,7 @@ from repro.flow.bipartite import BipartiteState
 from repro.network.graph import Network
 from repro.network.incremental import StreamPool
 from repro.obs import metrics
+from repro.runtime.budget import checkpoint as _budget_checkpoint
 
 INF = math.inf
 _EPS = 1e-9
@@ -93,6 +94,9 @@ def _residual_dijkstra(
     reduced-cost distance.  Node ids: customers ``0..m-1``, facilities
     ``m..m+l-1``.
     """
+    # One residual search is the matcher's unit of work: a cooperative
+    # budget interrupts between searches, never inside one.
+    _budget_checkpoint()
     m = state.m
     cust_p = state.customer_potential
     fac_p = state.facility_potential

@@ -38,6 +38,7 @@ from repro.network import distcache as _distcache
 from repro.network.graph import Network
 from repro.network.kernels import many_source_lengths, workspace_for
 from repro.obs import metrics
+from repro.runtime.budget import checkpoint as _budget_checkpoint
 
 INF = math.inf
 
@@ -98,6 +99,7 @@ def _run(
     Python floats/ints into the heap -- numpy scalar boxing on heap
     comparisons used to dominate the cost of this function.
     """
+    _budget_checkpoint()
     indptr, indices, weights = network.csr_lists
     n = network.n_nodes
     dist: list[float] = [INF] * n

@@ -40,6 +40,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.network.graph import Network
 from repro.obs import metrics
+from repro.runtime.budget import checkpoint as _budget_checkpoint
 
 INF = math.inf
 
@@ -140,6 +141,9 @@ class DijkstraWorkspace:
         count.  ``targets`` is *never* mutated or copied when it is
         already a set.  Returns the new generation stamp.
         """
+        # One network Dijkstra is the distance layer's unit of work for
+        # cooperative budgets: interrupt between runs, never mid-run.
+        _budget_checkpoint()
         gen = self._generation + 1
         self._generation = gen
         n = self._n

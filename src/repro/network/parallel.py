@@ -39,6 +39,7 @@ import numpy as np
 from repro.network.graph import Network
 from repro.network.kernels import DijkstraWorkspace, many_source_lengths
 from repro.obs import metrics
+from repro.runtime.budget import checkpoint as _budget_checkpoint
 
 INF = math.inf
 
@@ -276,6 +277,7 @@ class ParallelDistanceEngine:
         Bit-identical to the serial kernel path; falls back to it below
         the thresholds.
         """
+        _budget_checkpoint()
         source_list = [int(s) for s in sources]
         target_list = [int(t) for t in targets]
         if not self.should_parallelize(len(source_list)):
@@ -291,6 +293,8 @@ class ParallelDistanceEngine:
         jobs = [(chunk, target_list, radius) for chunk in chunks]
         metrics.active().counter("parallel.tasks").add(len(jobs))
         results = self._pool.map(_worker_distance_chunk, jobs)
+        # Workers are budget-blind; check once per fan-out on return.
+        _budget_checkpoint()
         for _, counters in results:
             self._merge_counters(counters)
         return np.vstack([rows for rows, _ in results])
@@ -305,6 +309,7 @@ class ParallelDistanceEngine:
         sub-order is the serial settlement order); distances and parents
         are bit-identical to the serial kernel.
         """
+        _budget_checkpoint()
         source_list = [int(s) for s in sources]
         n = self.network.n_nodes
         groups = self._component_groups(source_list)
@@ -315,6 +320,7 @@ class ParallelDistanceEngine:
         jobs = [(group, radius) for group in groups]
         metrics.active().counter("parallel.tasks").add(len(jobs))
         results = self._pool.map(_worker_multi_source, jobs)
+        _budget_checkpoint()
         dist = np.full(n, INF)
         parent = np.full(n, -1, dtype=np.int64)
         settled: list[int] = []

@@ -1,0 +1,58 @@
+"""Deadline-bounded solver runtime: budgets, options, faults, fallbacks.
+
+The runtime layer turns the library's solvers into service-grade calls:
+
+* :mod:`repro.runtime.budget` -- cooperative wall-clock budgets threaded
+  through solver hot loops as cheap checkpoints;
+* :mod:`repro.runtime.options` -- the unified :class:`SolverOptions`
+  surface every ``solve_*`` entry point accepts;
+* :mod:`repro.runtime.faults` -- deterministic fault injection so the
+  degradation paths stay testable in CI;
+* :mod:`repro.runtime.runner` -- fallback chains
+  (``exact -> wma -> hilbert``) under one shared deadline, always
+  returning a feasible solution.
+"""
+
+from repro.errors import BudgetExceeded
+from repro.runtime.budget import Budget, checkpoint, grace
+from repro.runtime.budget import active as active_budget
+from repro.runtime.budget import use as use_budget
+from repro.runtime.options import (
+    SolverOptions,
+    normalize_options,
+    registered_methods,
+    solver_api,
+    spec_for,
+    valid_options,
+)
+from repro.runtime.faults import FaultPlan
+from repro.runtime.faults import use as use_faults
+from repro.runtime.runner import (
+    DEFAULT_CHAINS,
+    ChainResult,
+    SolverRun,
+    chain_for,
+    solve_with_fallback,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "ChainResult",
+    "DEFAULT_CHAINS",
+    "FaultPlan",
+    "SolverOptions",
+    "SolverRun",
+    "active_budget",
+    "chain_for",
+    "checkpoint",
+    "grace",
+    "normalize_options",
+    "registered_methods",
+    "solve_with_fallback",
+    "solver_api",
+    "spec_for",
+    "use_budget",
+    "use_faults",
+    "valid_options",
+]

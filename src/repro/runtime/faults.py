@@ -1,0 +1,151 @@
+"""Deterministic fault injection for exercising degradation paths.
+
+Fallback chains and degraded returns are the parts of a solver runtime
+that production traffic exercises rarely and CI must exercise always.  A
+:class:`FaultPlan` makes those paths reachable on demand:
+
+* *forced timeouts* -- a method listed in ``timeout_methods`` (or hit by
+  the probabilistic ``timeout_rate``) raises
+  :class:`~repro.errors.BudgetExceeded` at attempt start, as if its
+  first checkpoint had fired past the deadline;
+* *injected solver exceptions* -- ``error_methods`` maps a method name
+  to an error kind (``"solver"``, ``"matching"``, ``"infeasible"``,
+  ``"timeout"``) raised at attempt start;
+* *slow Dijkstra* -- ``dijkstra_delay_sec`` adds a sleep to every
+  deadline check of the active :class:`~repro.runtime.budget.Budget`,
+  simulating a network large enough that single relaxation sweeps eat
+  visible wall-clock, which drives *real* checkpoint-triggered timeouts
+  through the solver hot loops rather than synthetic raises.
+
+Everything is seed-driven: the probabilistic decision for attempt ``i``
+of method ``m`` hashes ``(seed, m, i)``, so a plan replays identically
+across runs and processes.  Plans are scoped like budgets and metric
+registries -- :func:`use` installs one for a ``with`` block, and no plan
+is ever active unless a test (or the CI ``runtime-degradation`` job)
+installs one.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.errors import (
+    BudgetExceeded,
+    InfeasibleInstanceError,
+    MatchingError,
+    SolverError,
+)
+from repro.runtime import budget as _budget
+
+__all__ = ["FaultPlan", "active", "use"]
+
+#: Error kinds an ``error_methods`` entry may name.
+_ERROR_KINDS = {
+    "solver": SolverError,
+    "matching": MatchingError,
+    "infeasible": InfeasibleInstanceError,
+    "timeout": BudgetExceeded,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected solver faults.
+
+    Parameters
+    ----------
+    seed:
+        Drives every probabilistic decision; two plans with equal fields
+        inject identically.
+    timeout_methods:
+        Methods that always raise :class:`BudgetExceeded` at attempt
+        start.
+    error_methods:
+        Mapping of method name to error kind (a key of
+        ``{"solver", "matching", "infeasible", "timeout"}``) raised at
+        attempt start.
+    timeout_rate:
+        Probability in ``[0, 1]`` that any given attempt times out,
+        decided by ``hash(seed, method, attempt)`` -- deterministic per
+        (plan, method, attempt) triple.
+    dijkstra_delay_sec:
+        Sleep added to every budget deadline check while the plan is
+        active; simulates slow relaxation sweeps on a huge network.
+    """
+
+    seed: int = 0
+    timeout_methods: frozenset[str] = frozenset()
+    error_methods: Mapping[str, str] = field(default_factory=dict)
+    timeout_rate: float = 0.0
+    dijkstra_delay_sec: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "timeout_methods", frozenset(self.timeout_methods)
+        )
+        object.__setattr__(self, "error_methods", dict(self.error_methods))
+        bad = sorted(
+            kind
+            for kind in self.error_methods.values()
+            if kind not in _ERROR_KINDS
+        )
+        if bad:
+            raise ValueError(
+                f"unknown fault kind(s) {bad}; choose from "
+                f"{sorted(_ERROR_KINDS)}"
+            )
+
+    def _times_out(self, method: str, attempt: int) -> bool:
+        if method in self.timeout_methods:
+            return True
+        if self.timeout_rate <= 0.0:
+            return False
+        rng = random.Random(f"{self.seed}:{method}:{attempt}")
+        return rng.random() < self.timeout_rate
+
+    def raise_for_attempt(self, method: str, attempt: int) -> None:
+        """Raise the fault scheduled for ``(method, attempt)``, if any.
+
+        Called by the runner at the start of each chain attempt.  Raises
+        nothing for attempts the plan leaves alone.
+        """
+        kind = self.error_methods.get(method)
+        if kind is not None:
+            exc = _ERROR_KINDS[kind]
+            raise exc(
+                f"injected {kind} fault for method {method!r} "
+                f"(attempt {attempt})"
+            )
+        if self._times_out(method, attempt):
+            raise BudgetExceeded(
+                f"injected timeout for method {method!r} (attempt {attempt})"
+            )
+
+
+_active: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The fault plan in effect right now (``None`` almost always)."""
+    return _active
+
+
+@contextmanager
+def use(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the ``with`` block.
+
+    Also arms the plan's ``dijkstra_delay_sec`` on the budget module, so
+    deadline checks slow down while the plan is active.
+    """
+    global _active
+    previous = _active
+    _active = plan
+    previous_delay = _budget._set_fault_delay(plan.dijkstra_delay_sec)
+    try:
+        yield plan
+    finally:
+        _active = previous
+        _budget._set_fault_delay(previous_delay)
