@@ -13,18 +13,15 @@ Run with:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import pytest
 
 from repro import SOLVERS
 from repro.bench import experiments as ex
 from repro.bench.harness import BenchRow, run_solvers
-from repro.bench.reporting import (
-    format_series,
-    format_table,
-    paper_shape_summary,
-)
+from repro.bench.reporting import format_series, format_table, paper_shape_summary
 
 EXACT_TIME_LIMIT = 45.0
 

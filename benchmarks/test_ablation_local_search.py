@@ -32,7 +32,7 @@ def test_ablation_local_search(benchmark):
         return {
             method: [
                 refine_solution(inst, sol, max_rounds=4)
-                for inst, sol in zip(instances, sols)
+                for inst, sol in zip(instances, sols, strict=True)
             ]
             for method, sols in base.items()
         }

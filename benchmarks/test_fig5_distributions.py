@@ -13,10 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench.reporting import format_table
-from repro.datagen.synthetic import (
-    clustered_points,
-    uniform_points,
-)
+from repro.datagen.synthetic import clustered_points, uniform_points
 
 
 def mean_nn_distance(points: np.ndarray, sample: int = 400) -> float:

@@ -11,11 +11,7 @@ from __future__ import annotations
 from repro import SOLVERS
 from repro.bench import experiments as ex
 from repro.bench.harness import BenchRow, run_solvers
-from repro.bench.reporting import (
-    format_series,
-    mean_rows,
-    paper_shape_summary,
-)
+from repro.bench.reporting import format_series, mean_rows, paper_shape_summary
 
 
 def test_fig8a(benchmark):

@@ -22,8 +22,9 @@ The :func:`solve` dispatcher accepts ``method`` in ``{"wma", "wma-uf",
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
+from repro import runtime
 from repro.baselines import (
     solve_brnn,
     solve_exact,
@@ -55,7 +56,6 @@ from repro.errors import (
     SolverError,
 )
 from repro.network import Network
-from repro import runtime
 from repro.runtime import SolverOptions
 
 __version__ = "1.0.0"

@@ -1,5 +1,14 @@
-"""Post-hoc analysis of MCFS solutions and solver runs."""
+"""Post-hoc analysis of MCFS solutions, solver runs, and the codebase.
 
+Besides the solution/robustness reports, this package hosts
+**reprolint** -- the repo-specific static-analysis pass (``repro lint``
+/ ``python -m repro.analysis``); see :mod:`repro.analysis.rules` for the
+REP rule catalogue and ``docs/dev.md`` for the workflow.
+"""
+
+from repro.analysis.baseline import load_baseline, save_baseline
+from repro.analysis.engine import LintEngine, default_root
+from repro.analysis.findings import Finding, LintResult
 from repro.analysis.reports import (
     SolutionStats,
     compare_solutions,
@@ -14,6 +23,12 @@ from repro.analysis.robustness import (
 )
 
 __all__ = [
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "default_root",
+    "load_baseline",
+    "save_baseline",
     "SolutionStats",
     "solution_stats",
     "compare_solutions",

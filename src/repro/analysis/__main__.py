@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` -- run reprolint (see lintcli)."""
+
+from repro.analysis.lintcli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

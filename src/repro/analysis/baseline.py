@@ -1,0 +1,80 @@
+"""Ratchet-only baseline for grandfathered reprolint findings.
+
+The committed baseline (``reprolint-baseline.json`` at the repo root)
+maps a line-independent finding key -- ``rule:path:symbol`` -- to the
+number of occurrences that existed when the gate was introduced.  The
+engine marks up to that many matching findings as ``baselined`` (they
+are reported but do not fail the run); every occurrence beyond the
+grandfathered count is *new* and fails.  Entries whose findings have
+been fixed show up as *stale* so the debt visibly shrinks; running
+``repro lint --update-baseline`` rewrites the file to exactly the
+current findings, which is the only way the baseline ever changes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Format version of the baseline file.
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a baseline file into ``{finding_key: grandfathered_count}``.
+
+    A missing file is an empty baseline (nothing grandfathered), so a
+    fresh checkout without the file simply gates at zero.
+    """
+    p = Path(path)
+    if not p.exists():
+        return {}
+    with open(p, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    entries = doc.get("findings", doc) if isinstance(doc, dict) else {}
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> dict[str, int]:
+    """Write the baseline matching exactly the given findings.
+
+    Returns the entry mapping that was written.
+    """
+    entries: dict[str, int] = {}
+    for finding in findings:
+        entries[finding.key] = entries.get(finding.key, 0) + 1
+    doc = {
+        "_comment": (
+            "reprolint ratchet baseline: grandfathered findings as "
+            "rule:path:symbol -> count. Never edit by hand; shrink it by "
+            "fixing findings and running `repro lint --update-baseline`."
+        ),
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(entries.items())),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, int]
+) -> list[str]:
+    """Mark grandfathered findings in place; return stale baseline keys.
+
+    For each baseline key, up to ``count`` matching findings (in report
+    order) get ``baselined=True``.  Keys with *fewer* current findings
+    than their grandfathered count are stale -- the debt they recorded
+    has (partly) been paid -- and are returned so the caller can surface
+    them.
+    """
+    remaining = dict(baseline)
+    for finding in findings:
+        allowance = remaining.get(finding.key, 0)
+        if allowance > 0:
+            remaining[finding.key] = allowance - 1
+            finding.baselined = True
+    return [key for key, count in remaining.items() if count > 0]

@@ -1,0 +1,197 @@
+"""The reprolint engine: tree walking, suppressions, rule dispatch.
+
+The engine parses every ``*.py`` file under one root with :mod:`ast`,
+hands each file to every rule (:class:`~repro.analysis.rules.Rule`), and
+runs a project-wide ``finalize`` pass for cross-file rules (REP001's
+registry reconciliation, REP002's ``SOLVERS`` reachability).  Findings
+then flow through per-file/per-line suppressions and the committed
+ratchet baseline (:mod:`repro.analysis.baseline`).
+
+Suppression syntax (checked by ``tests/test_reprolint.py``):
+
+* a standalone comment line ``# reprolint: disable=REP005`` disables the
+  named rule(s) for the whole file (comma-separate ids; ``all`` disables
+  everything);
+* the same comment trailing a code line disables the rule(s) for
+  findings reported on exactly that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.findings import Finding, LintResult
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Directories never linted (caches, VCS internals).
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+class FileContext:
+    """Everything a rule may inspect about one parsed source file."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        #: POSIX path relative to the linted root (baseline-stable).
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel)
+        #: Rule ids disabled for the whole file (may contain ``"all"``).
+        self.file_disabled: set[str] = set()
+        #: Rule ids disabled per 1-based line number.
+        self.line_disabled: dict[int, set[str]] = {}
+        self._scan_suppressions()
+        #: Module-level ``NAME = "literal"`` string constants, used to
+        #: resolve counter names passed via constants (REP001).
+        self.constants = _module_str_constants(self.tree)
+
+    def _scan_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            rules = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            if text.strip().startswith("#"):
+                self.file_disabled |= rules
+            else:
+                self.line_disabled.setdefault(lineno, set()).update(rules)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is disabled for a finding on ``line``."""
+        if "all" in self.file_disabled or rule in self.file_disabled:
+            return True
+        at_line = self.line_disabled.get(line, ())
+        return "all" in at_line or rule in at_line
+
+
+def _module_str_constants(tree: ast.Module) -> dict[str, str]:
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+class LintEngine:
+    """Run a set of rules over every Python file under ``root``.
+
+    Parameters
+    ----------
+    root:
+        Directory treated as the package root; finding paths and the
+        module-layout conventions the rules use (``obs/names.py``,
+        ``baselines/``, ...) are relative to it.
+    rules:
+        Rule instances to run; defaults to the full registered set
+        (:func:`repro.analysis.rules.default_rules`).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        rules: Sequence[object] | None = None,
+    ) -> None:
+        self.root = Path(root)
+        if rules is None:
+            # Local import: rules import the Finding model from this
+            # package, so the registry is resolved lazily.
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.rules = list(rules)
+
+    def _iter_files(self) -> Iterable[Path]:
+        for path in sorted(self.root.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            yield path
+
+    def run(
+        self,
+        baseline: dict[str, int] | str | Path | None = None,
+    ) -> LintResult:
+        """Lint the tree and return a :class:`LintResult`.
+
+        ``baseline`` may be a pre-loaded mapping, a path to a baseline
+        file, or ``None`` (gate at zero).
+        """
+        if isinstance(baseline, (str, Path)):
+            baseline = load_baseline(baseline)
+        baseline = dict(baseline or {})
+
+        for rule in self.rules:
+            rule.start()
+
+        contexts: list[FileContext] = []
+        findings: list[Finding] = []
+        suppressed = 0
+        for path in self._iter_files():
+            rel = path.relative_to(self.root).as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                ctx = FileContext(path, rel, source)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                findings.append(
+                    Finding(
+                        rule="REP000",
+                        severity="error",
+                        path=rel,
+                        line=getattr(exc, "lineno", 1) or 1,
+                        col=0,
+                        symbol="parse",
+                        message=f"file could not be parsed: {exc}",
+                        hint="reprolint needs every file to parse",
+                    )
+                )
+                continue
+            contexts.append(ctx)
+            for rule in self.rules:
+                for finding in rule.visit(ctx):
+                    if ctx.is_suppressed(finding.rule, finding.line):
+                        suppressed += 1
+                    else:
+                        findings.append(finding)
+
+        by_rel = {ctx.rel: ctx for ctx in contexts}
+        for rule in self.rules:
+            for finding in rule.finalize():
+                ctx = by_rel.get(finding.path)
+                if ctx is not None and ctx.is_suppressed(
+                    finding.rule, finding.line
+                ):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        stale = apply_baseline(findings, baseline)
+        return LintResult(
+            root=str(self.root),
+            files_scanned=len(contexts),
+            findings=findings,
+            suppressed=suppressed,
+            stale_baseline=stale,
+        )
+
+
+def default_root() -> Path:
+    """The installed :mod:`repro` package directory (the default target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent

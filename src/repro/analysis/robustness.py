@@ -15,14 +15,14 @@ well a selection holds up:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import MatchingError
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
+from repro.errors import MatchingError
 from repro.flow.sspa import assign_all
 
 

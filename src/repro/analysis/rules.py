@@ -1,0 +1,658 @@
+"""The repo-specific reprolint rules (REP001..REP006).
+
+Each rule encodes a real contract of this codebase that no generic
+linter knows about -- the observability name registry, the
+``solver_api``/``SOLVERS`` registration protocol, clock and RNG
+discipline, and budget checkpoints in hot loops.  Rules are pluggable:
+subclass :class:`Rule`, give it an id/severity/hint, and add it to
+:func:`default_rules`.
+
+Per-file state arrives through
+:class:`~repro.analysis.engine.FileContext`; cross-file rules accumulate
+during :meth:`Rule.visit` and reconcile in :meth:`Rule.finalize`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "default_rules", "RULES"]
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`id`, :attr:`severity`, :attr:`title`, and
+    :attr:`hint`, implement :meth:`visit` (per file), and may implement
+    :meth:`finalize` (project-wide, after every file was visited).
+    """
+
+    id = "REP000"
+    severity = "error"
+    title = ""
+    hint = ""
+
+    def start(self) -> None:
+        """Reset cross-file state; called once per engine run."""
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield cross-file findings after the whole tree was visited."""
+        return iter(())
+
+    def finding(
+        self,
+        ctx_or_path: FileContext | str,
+        line: int,
+        col: int,
+        symbol: str,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` for this rule."""
+        path = (
+            ctx_or_path.rel
+            if isinstance(ctx_or_path, FileContext)
+            else ctx_or_path
+        )
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            symbol=symbol,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _dotted(node: ast.expr) -> str:
+    """Render a Name/Attribute chain as ``a.b.c`` (empty if dynamic)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _call_name(node: ast.Call) -> str:
+    """The final identifier of the called expression (``c`` in ``a.b.c()``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _str_value(node: ast.expr, ctx: FileContext) -> str | None:
+    """Resolve a string literal or module-level string constant."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return ctx.constants.get(node.id)
+    return None
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, tuple]]:
+    """Yield ``(def_node, qualname, enclosing_def_chain)`` for every function."""
+
+    def walk(node: ast.AST, prefix: str, chain: tuple) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield child, qual, chain
+                yield from walk(child, f"{qual}.", chain + (child,))
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.", chain)
+            else:
+                yield from walk(child, prefix, chain)
+
+    yield from walk(tree, "", ())
+
+
+def _owned_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk ``func`` without descending into nested function defs."""
+    todo: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while todo:
+        node = todo.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            todo.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# REP001 -- observability names must round-trip through the registry
+# ----------------------------------------------------------------------
+class ObsNameRegistryRule(Rule):
+    """Counter/gauge/timer names must exist in ``obs/names.py`` (both ways).
+
+    A name used at a call site but absent from the registry is a typo
+    about to mint an ungated counter; a registered name with no call
+    site is dead vocabulary.  Names passed through module-level string
+    constants (``COUNTER_HITS = "distcache.hits"``) are resolved;
+    genuinely dynamic names (variables, f-strings) are outside the
+    rule's reach and are ignored.
+    """
+
+    id = "REP001"
+    severity = "error"
+    title = "observability name not in obs/names.py registry"
+    hint = (
+        "declare the name in the matching set of src/repro/obs/names.py "
+        "(COUNTERS/GAUGES/TIMERS) or fix the typo at the call site"
+    )
+
+    REGISTRY_REL = "obs/names.py"
+    _KIND_BY_SET = {"COUNTERS": "counter", "GAUGES": "gauge", "TIMERS": "timer"}
+
+    def start(self) -> None:
+        # kind -> name -> declaration line in the registry file
+        self.registry: dict[str, dict[str, int]] = {}
+        self.registry_seen = False
+        # (kind, name, path, line, col) usages across the tree
+        self.usages: list[tuple[str, str, str, int, int]] = []
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel == self.REGISTRY_REL:
+            self.registry_seen = True
+            self._collect_registry(ctx)
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = _call_name(node)
+            if called in ("counter", "gauge", "timer"):
+                if node.args:
+                    name = _str_value(node.args[0], ctx)
+                    if name is not None:
+                        self.usages.append(
+                            (called, name, ctx.rel, node.lineno, node.col_offset)
+                        )
+            elif called == "CounterBlock":
+                for arg in node.args:
+                    name = _str_value(arg, ctx)
+                    if name is not None:
+                        self.usages.append(
+                            ("counter", name, ctx.rel, node.lineno, node.col_offset)
+                        )
+        return
+        yield  # pragma: no cover - makes this an (empty) generator
+
+    def _collect_registry(self, ctx: FileContext) -> None:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            kind = self._KIND_BY_SET.get(target.id)
+            if kind is None:
+                continue
+            names = self.registry.setdefault(kind, {})
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    names[sub.value] = sub.lineno
+
+    def finalize(self) -> Iterator[Finding]:
+        all_registered: dict[str, tuple[str, int]] = {}
+        for kind, names in self.registry.items():
+            for name, line in names.items():
+                all_registered[name] = (kind, line)
+
+        used_names = set()
+        for kind, name, path, line, col in self.usages:
+            used_names.add(name)
+            registered = all_registered.get(name)
+            if registered is None:
+                yield self.finding(
+                    path,
+                    line,
+                    col,
+                    name,
+                    f"{kind} name {name!r} is not declared in the "
+                    f"observability registry ({self.REGISTRY_REL})",
+                )
+            elif registered[0] != kind:
+                yield self.finding(
+                    path,
+                    line,
+                    col,
+                    name,
+                    f"{name!r} is registered as a {registered[0]} but used "
+                    f"as a {kind} here",
+                    hint="use the registered instrument kind or move the "
+                    "name to the matching registry set",
+                )
+        if self.registry_seen:
+            for name, (kind, line) in sorted(all_registered.items()):
+                if name not in used_names:
+                    yield self.finding(
+                        self.REGISTRY_REL,
+                        line,
+                        0,
+                        name,
+                        f"registered {kind} name {name!r} has no call site "
+                        f"left in the tree (dead registry entry)",
+                        hint="remove the entry or restore the "
+                        "instrumentation that used it",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP002 -- solver entry points must use solver_api and be in SOLVERS
+# ----------------------------------------------------------------------
+class SolverRegistrationRule(Rule):
+    """``def solve_*`` in ``baselines/``/``core/`` must be registered.
+
+    Every solver entry point must carry the ``@solver_api`` decorator
+    (PR 3's unified option surface -- without it, ``options=`` and the
+    budget/cache scopes silently do not apply) and must be reachable as
+    a value of the top-level ``SOLVERS`` dict, or the CLI, the fallback
+    chains, and the bench harness cannot see it.
+    """
+
+    id = "REP002"
+    severity = "error"
+    title = "unregistered solver entry point"
+    hint = (
+        "decorate with @solver_api(<method>, ...) and add the function "
+        "to SOLVERS in src/repro/__init__.py"
+    )
+
+    PREFIXES = ("baselines/", "core/")
+
+    def start(self) -> None:
+        self.defs: list[tuple[str, str, int]] = []  # (name, path, line)
+        self.solvers_values: set[str] | None = None
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel == "__init__.py":
+            self._collect_solvers(ctx)
+        if not ctx.rel.startswith(self.PREFIXES):
+            return
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not node.name.startswith("solve_"):
+                continue
+            if not self._has_solver_api(node):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    node.name,
+                    f"solver entry point {node.name!r} lacks the "
+                    f"@solver_api decorator",
+                )
+            self.defs.append((node.name, ctx.rel, node.lineno))
+
+    @staticmethod
+    def _has_solver_api(node: ast.FunctionDef) -> bool:
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = _dotted(target)
+            if name == "solver_api" or name.endswith(".solver_api"):
+                return True
+        return False
+
+    def _collect_solvers(self, ctx: FileContext) -> None:
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "SOLVERS"
+                and isinstance(node.value, ast.Dict)
+            ) or (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "SOLVERS"
+                and isinstance(node.value, ast.Dict)
+            ):
+                values = set()
+                for value in node.value.values:
+                    name = _dotted(value)
+                    if name:
+                        values.add(name.rsplit(".", 1)[-1])
+                self.solvers_values = values
+
+    def finalize(self) -> Iterator[Finding]:
+        if self.solvers_values is None:
+            return
+        for name, path, line in self.defs:
+            if name not in self.solvers_values:
+                yield self.finding(
+                    path,
+                    line,
+                    0,
+                    name,
+                    f"solver entry point {name!r} is not reachable from "
+                    f"the SOLVERS registry in __init__.py",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP003 -- wall clocks belong to runtime/ and obs/
+# ----------------------------------------------------------------------
+class WallClockOwnershipRule(Rule):
+    """No ``time.time``/``time.monotonic``/argless ``datetime.now`` elsewhere.
+
+    Determinism and budget ownership: solvers must observe wall time
+    only through the cooperative budget (:mod:`repro.runtime.budget`)
+    and the observability layer, or identical runs stop being identical
+    and deadline enforcement fragments.  ``time.perf_counter`` for pure
+    duration measurement is allowed.
+    """
+
+    id = "REP003"
+    severity = "error"
+    title = "wall-clock read outside runtime/ and obs/"
+    hint = (
+        "route deadlines through repro.runtime.budget and measurements "
+        "through repro.obs; time.perf_counter() is fine for durations"
+    )
+
+    EXEMPT_PREFIXES = ("runtime/", "obs/", "analysis/")
+    _BANNED_CALLS = {"time.time", "time.monotonic"}
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel.startswith(self.EXEMPT_PREFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                banned = [
+                    a.name
+                    for a in node.names
+                    if a.name in ("time", "monotonic")
+                ]
+                if banned:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"from-time-import-{'-'.join(banned)}",
+                        f"importing {', '.join(banned)} from time makes "
+                        f"wall-clock reads invisible to the budget layer",
+                    )
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in self._BANNED_CALLS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    dotted,
+                    f"{dotted}() outside runtime/ and obs/ breaks "
+                    f"determinism and budget ownership",
+                )
+            elif (
+                dotted.endswith("datetime.now")
+                or dotted == "datetime.now"
+            ) and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "datetime.now",
+                    "argless datetime.now() outside runtime/ and obs/ is "
+                    "a non-deterministic wall-clock read",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP004 -- randomness must be seed-driven
+# ----------------------------------------------------------------------
+class SeededRandomnessRule(Rule):
+    """No ``import random``, no unseeded ``default_rng()``.
+
+    Reproducibility is a headline contract of this repo: every random
+    draw flows from an explicit seed.  The stdlib ``random`` module
+    (global, shared state) is allowed only in the whitelisted
+    seed-driven site (``runtime/faults.py``, whose FaultPlan derives a
+    private ``random.Random(seed)``); ``numpy.random.default_rng()``
+    must always be given a seed.
+    """
+
+    id = "REP004"
+    severity = "error"
+    title = "unseeded randomness"
+    hint = (
+        "thread an explicit seed: np.random.default_rng(seed); the "
+        "stdlib random module is whitelisted only in runtime/faults.py"
+    )
+
+    WHITELIST = {"runtime/faults.py"}
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel in self.WHITELIST:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "import-random",
+                            "the stdlib random module (global shared state) "
+                            "is only allowed in runtime/faults.py",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "import-random",
+                    "the stdlib random module (global shared state) is "
+                    "only allowed in runtime/faults.py",
+                )
+            elif isinstance(node, ast.Call):
+                if (
+                    _call_name(node) == "default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "default_rng",
+                        "default_rng() without a seed is OS-entropy seeded "
+                        "and breaks run-to-run reproducibility",
+                    )
+
+
+# ----------------------------------------------------------------------
+# REP005 -- hot loops must checkpoint the budget
+# ----------------------------------------------------------------------
+class BudgetCheckpointRule(Rule):
+    """Instance-sized loops in hot-path modules must hit ``checkpoint()``.
+
+    The deadline runtime (PR 3) is cooperative: a hot loop that never
+    calls :func:`repro.runtime.budget.checkpoint` cannot be interrupted,
+    so one such loop defeats every ``--deadline`` above it.  The rule
+    flags functions in the hot-path modules (``network/``, ``flow/``,
+    ``core/wma.py``) that run data-dependent loops (``while``, or
+    ``for`` over anything but a literal/constant-range iterable) without
+    a checkpoint in their own or an enclosing scope.  Heuristic by
+    nature, hence a *warning*: suppress deliberately cold or
+    caller-checkpointed functions with ``# reprolint: disable=REP005``.
+    """
+
+    id = "REP005"
+    severity = "warning"
+    title = "hot loop without budget checkpoint"
+    hint = (
+        "call repro.runtime.budget.checkpoint() in the loop (cheap no-op "
+        "without an active budget), or suppress with "
+        "'# reprolint: disable=REP005' if the loop is construction-time "
+        "or its caller checkpoints"
+    )
+
+    HOT_PREFIXES = ("network/", "flow/")
+    HOT_FILES = {"core/wma.py"}
+    _BOUNDED_CALLS = {"range", "enumerate", "zip", "reversed"}
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if not (
+            ctx.rel.startswith(self.HOT_PREFIXES) or ctx.rel in self.HOT_FILES
+        ):
+            return
+        for func, qual, chain in _iter_functions(ctx.tree):
+            if self._checkpoints(func) or any(
+                self._checkpoints(outer, shallow=True) for outer in chain
+            ):
+                continue
+            loop_line = self._first_hot_loop(func)
+            if loop_line is not None:
+                yield self.finding(
+                    ctx,
+                    func.lineno,
+                    func.col_offset,
+                    qual,
+                    f"{qual}() runs an instance-sized loop (line "
+                    f"{loop_line}) without a budget checkpoint",
+                )
+
+    @classmethod
+    def _checkpoints(
+        cls,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        shallow: bool = False,
+    ) -> bool:
+        nodes: Iterable[ast.AST] = (
+            _owned_nodes(func) if shallow else ast.walk(func)
+        )
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if "checkpoint" in name or name == "tick":
+                    return True
+        return False
+
+    @classmethod
+    def _first_hot_loop(
+        cls, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> int | None:
+        for node in _owned_nodes(func):
+            if isinstance(node, ast.While):
+                return node.lineno
+            if isinstance(node, ast.For) and cls._data_dependent(node.iter):
+                return node.lineno
+        return None
+
+    @classmethod
+    def _data_dependent(cls, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            return any(
+                not isinstance(e, ast.Constant) and cls._data_dependent(e)
+                for e in expr.elts
+            )
+        if isinstance(expr, ast.Constant):
+            return False
+        if isinstance(expr, ast.Call):
+            if _call_name(expr) in cls._BOUNDED_CALLS:
+                return any(cls._data_dependent(a) for a in expr.args)
+            return True
+        return True
+
+
+# ----------------------------------------------------------------------
+# REP006 -- no mutable defaults, no bare except
+# ----------------------------------------------------------------------
+class MutableDefaultAndBareExceptRule(Rule):
+    """No mutable default arguments and no bare ``except:`` anywhere.
+
+    Mutable defaults are shared across calls (the classic aliasing bug);
+    bare ``except`` swallows ``KeyboardInterrupt``/``SystemExit`` and --
+    in this codebase -- :class:`~repro.errors.BudgetExceeded`, which
+    must always reach the runtime's fallback chain.
+    """
+
+    id = "REP006"
+    severity = "error"
+    title = "mutable default argument or bare except"
+    hint = (
+        "default to None and create the container inside the function; "
+        "catch a concrete exception type instead of bare except"
+    )
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        for func, qual, _chain in _iter_functions(ctx.tree):
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default.lineno,
+                        default.col_offset,
+                        qual,
+                        f"{qual}() has a mutable default argument "
+                        f"(shared across calls)",
+                    )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    "bare-except",
+                    "bare except swallows SystemExit/KeyboardInterrupt "
+                    "and BudgetExceeded",
+                )
+
+    @classmethod
+    def _is_mutable(cls, node: ast.expr) -> bool:
+        if isinstance(
+            node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                   ast.SetComp)
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in cls._MUTABLE_CALLS
+        )
+
+
+#: Rule registry in id order; ``repro lint --list-rules`` prints this.
+RULES: tuple[type[Rule], ...] = (
+    ObsNameRegistryRule,
+    SolverRegistrationRule,
+    WallClockOwnershipRule,
+    SeededRandomnessRule,
+    BudgetCheckpointRule,
+    MutableDefaultAndBareExceptRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [cls() for cls in RULES]

@@ -26,12 +26,11 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.errors import InfeasibleInstanceError, SolverError
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
+from repro.errors import InfeasibleInstanceError, SolverError
 from repro.network.dijkstra import distance_matrix
-from repro.runtime.budget import active as active_budget
-from repro.runtime.budget import checkpoint
+from repro.runtime.budget import active as active_budget, checkpoint
 from repro.runtime.options import solver_api
 
 ExactSolution = MCFSSolution
@@ -77,14 +76,14 @@ def _build_problem(instance: MCFSInstance, workers: int | None = None):
     n_rows = 0
 
     # sum_j y_ij = 1 for each customer (rows 0..m-1).
-    for idx, (i, j) in enumerate(pairs):
+    for idx, (i, _j) in enumerate(pairs):
         rows.append(i)
         cols.append(l + idx)
         vals.append(1.0)
     n_rows += m
 
     # sum_i y_ij - c_j x_j <= 0 for each facility (rows m..m+l-1).
-    for idx, (i, j) in enumerate(pairs):
+    for idx, (_i, j) in enumerate(pairs):
         rows.append(m + j)
         cols.append(l + idx)
         vals.append(1.0)

@@ -13,11 +13,11 @@ import time
 
 import numpy as np
 
-from repro.errors import MatchingError
 from repro.core.instance import MCFSInstance
 from repro.core.provisions import cover_components
 from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
+from repro.errors import MatchingError
 from repro.flow.sspa import assign_all
 from repro.runtime.options import solver_api
 

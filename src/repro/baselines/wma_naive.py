@@ -21,12 +21,12 @@ import time
 
 import numpy as np
 
-from repro.errors import MatchingError
 from repro.core.instance import MCFSInstance
 from repro.core.provisions import cover_components, select_greedy
 from repro.core.set_cover import check_cover
 from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
+from repro.errors import MatchingError
 from repro.flow.sspa import assign_all
 from repro.network.incremental import StreamPool
 from repro.runtime.options import solver_api

@@ -9,20 +9,9 @@
   experiment index).
 """
 
-from repro.bench.harness import (
-    BenchRow,
-    load_rows,
-    run_solvers,
-    save_rows,
-    solver_row,
-)
+from repro.bench.harness import BenchRow, load_rows, run_solvers, save_rows, solver_row
 from repro.bench.parallel import parallel_rows
-from repro.bench.reporting import (
-    format_series,
-    format_table,
-    mean_rows,
-    sparkline,
-)
+from repro.bench.reporting import format_series, format_table, mean_rows, sparkline
 from repro.bench.sweeps import aggregate, seeded_sweep
 
 __all__ = [

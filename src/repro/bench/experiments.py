@@ -13,26 +13,17 @@ here are documented in each factory's docstring.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.core.instance import MCFSInstance
+from repro.datagen.bikeflow import bike_demand_distribution, simulate_hourly_flows
 from repro.datagen.capacities import operational_hours_capacities
-from repro.datagen.checkins import (
-    occupancy_customer_distribution,
-    synth_occupancies,
-)
-from repro.datagen.bikeflow import (
-    bike_demand_distribution,
-    simulate_hourly_flows,
-)
+from repro.datagen.checkins import occupancy_customer_distribution, synth_occupancies
 from repro.datagen.customers import weighted_customers
-from repro.datagen.instances import (
-    city_instance,
-    clustered_instance,
-    uniform_instance,
-)
+from repro.datagen.instances import city_instance, clustered_instance, uniform_instance
 from repro.datagen.urban import city_catalog
 from repro.network.graph import Network
 

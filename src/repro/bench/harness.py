@@ -13,13 +13,14 @@ from __future__ import annotations
 import contextlib
 import json
 import time
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, fields
-from typing import Any, Iterable, Sequence, TextIO
+from typing import Any, TextIO
 
 from repro import SOLVERS
-from repro.errors import ReproError, SolverError
 from repro.core.instance import MCFSInstance
 from repro.core.validation import validate_solution
+from repro.errors import ReproError, SolverError
 from repro.network import distcache
 from repro.obs import metrics as obs_metrics
 
@@ -108,7 +109,7 @@ def load_rows(source: str | TextIO) -> list[BenchRow]:
     extra fields) still load instead of crashing the reader.
     """
     if isinstance(source, str):
-        with open(source, "r", encoding="utf-8") as fh:
+        with open(source, encoding="utf-8") as fh:
             return load_rows(fh)
     known = {f.name for f in fields(BenchRow)}
     return [
@@ -216,7 +217,7 @@ def run_solvers(
     validate: bool = True,
     seeds: dict[str, int] | None = None,
     workers: int | None = None,
-    distance_cache: "bool | distcache.DistanceCache | None" = None,
+    distance_cache: bool | distcache.DistanceCache | None = None,
     deadline: float | None = None,
     fallback: Any = None,
 ) -> list[BenchRow]:

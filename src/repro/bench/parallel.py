@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import os
 import tempfile
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Sequence
+from typing import Any
 
 from repro.bench.harness import BenchRow, solver_row
 from repro.core.instance import MCFSInstance

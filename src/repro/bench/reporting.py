@@ -9,7 +9,8 @@ pytest logs and when redirected to the EXPERIMENTS.md records.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.bench.harness import BenchRow
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.bench.harness import BenchRow, run_solvers
 from repro.core.instance import MCFSInstance

@@ -8,30 +8,29 @@ Subcommands::
     python -m repro compare instance.npz --methods wma,hilbert,exact
     python -m repro bench --experiment fig6a
     python -m repro profile --kind uniform --n 256 --seed 0 -o report.json
+    python -m repro lint --format json
 
 ``generate`` builds a synthetic instance file, ``solve`` runs one solver
 and writes the solution, ``stats`` prints network/instance statistics,
 ``compare`` prints a side-by-side solver table, ``bench`` regenerates
-a paper experiment by id, and ``profile`` runs one solver under the
+a paper experiment by id, ``profile`` runs one solver under the
 observability layer (:mod:`repro.obs`), emits a structured metrics/span
 report, and can gate counters against a committed baseline (the CI
-benchmark-smoke job).
+benchmark-smoke job), and ``lint`` runs reprolint, the repo-specific
+static-analysis pass (:mod:`repro.analysis`; rule catalogue in
+``docs/dev.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro import SOLVERS, solve, validate_solution
 from repro.analysis import compare_solutions
 from repro.bench.reporting import format_series, format_table
-from repro.io.serialization import (
-    load_instance,
-    save_instance,
-    save_solution,
-)
+from repro.io.serialization import load_instance, save_instance, save_solution
 
 # (load_solution is imported lazily inside the handlers that need it.)
 
@@ -171,6 +170,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process count for distance fan-out in worker-aware solvers "
         "(default: REPRO_WORKERS env var, else serial)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo-specific static-analysis pass",
+    )
+    from repro.analysis.lintcli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -399,7 +406,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"wrote {args.spans_out} ({len(trace)} spans)")
 
     if args.baseline:
-        with open(args.baseline, "r", encoding="utf-8") as fh:
+        with open(args.baseline, encoding="utf-8") as fh:
             baseline_doc = json.load(fh)
         baseline = baseline_doc.get("metrics", baseline_doc)
         tolerance = args.tolerance
@@ -419,6 +426,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lintcli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -431,6 +444,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "refine": _cmd_refine,
         "export": _cmd_export,
         "profile": _cmd_profile,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -15,32 +15,24 @@ The modules in this subpackage map one-to-one onto the paper's Section IV:
   evaluation used by tests and benchmarks.
 """
 
-from repro.core.instance import MCFSInstance
-from repro.core.solution import MCFSSolution
-from repro.core.validation import (
-    evaluate_objective,
-    validate_solution,
-    check_feasibility,
-)
-from repro.core.wma import WMASolver, WMATrace, solve_wma, solve_wma_uniform_first
-from repro.core.demand import (
-    DemandPolicy,
-    SelectiveDemandPolicy,
-    UniformDemandPolicy,
-)
-from repro.core.set_cover import CoverResult, check_cover
-from repro.core.provisions import cover_components, select_greedy
+from repro.core.demand import DemandPolicy, SelectiveDemandPolicy, UniformDemandPolicy
 from repro.core.dynamic import AllocationEvent, DynamicAllocator
-from repro.core.local_search import (
-    RefinementReport,
-    refine_solution,
-    solve_wma_refined,
-)
+from repro.core.instance import MCFSInstance
+from repro.core.local_search import RefinementReport, refine_solution, solve_wma_refined
+from repro.core.provisions import cover_components, select_greedy
+from repro.core.set_cover import CoverResult, check_cover
+from repro.core.solution import MCFSSolution
 from repro.core.throughput import (
     ThroughputResult,
     assign_with_throughput,
     congestion_profile,
 )
+from repro.core.validation import (
+    check_feasibility,
+    evaluate_objective,
+    validate_solution,
+)
+from repro.core.wma import WMASolver, WMATrace, solve_wma, solve_wma_uniform_first
 
 __all__ = [
     "MCFSInstance",

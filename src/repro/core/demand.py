@@ -11,7 +11,8 @@ selection) converges much faster than growing everyone uniformly.
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+from collections.abc import Sequence
+from typing import Protocol
 
 
 class DemandPolicy(Protocol):

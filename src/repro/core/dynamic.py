@@ -27,11 +27,11 @@ rebuilds.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
-from repro.errors import InvalidInstanceError, MatchingError
 from repro.core.instance import MCFSInstance
+from repro.errors import InvalidInstanceError, MatchingError
 from repro.flow.bipartite import BipartiteState
 from repro.flow.sspa import find_pair
 

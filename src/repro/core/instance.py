@@ -7,14 +7,18 @@ subject to constraints (2)-(3) in the paper.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.errors import InvalidInstanceError
 from repro.network.components import ComponentStructure
 from repro.network.graph import Network
+
+if TYPE_CHECKING:
+    from repro.core.solution import MCFSSolution
 
 
 @dataclass(frozen=True)
@@ -126,7 +130,7 @@ class MCFSInstance:
             self.network, self.customers, self.facility_nodes
         )
 
-    def restrict_to(self, facility_indices: Sequence[int]) -> "MCFSInstance":
+    def restrict_to(self, facility_indices: Sequence[int]) -> MCFSInstance:
         """A sub-instance whose candidate set is the given facilities.
 
         This is the instance solved by the final recursive call of
@@ -143,7 +147,7 @@ class MCFSInstance:
             name=f"{self.name}|restricted",
         )
 
-    def with_uniform_capacities(self, capacity: int | None = None) -> "MCFSInstance":
+    def with_uniform_capacities(self, capacity: int | None = None) -> MCFSInstance:
         """Copy of the instance with every capacity set to ``capacity``.
 
         Defaults to the rounded-up mean capacity, as in the Uniform-First
@@ -167,8 +171,8 @@ class MCFSInstance:
         options: object = None,
         deadline: float | None = None,
         fallback: object = None,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> MCFSSolution:
         """Solve this instance -- the documented one-line entry point.
 
         Equivalent to ``repro.solve(self, method, options=options,
@@ -191,7 +195,7 @@ class MCFSInstance:
             **kwargs,
         )
 
-    def describe(self) -> dict[str, float]:
+    def describe(self) -> dict[str, Any]:
         """Flat summary for reports."""
         return {
             "name": self.name,

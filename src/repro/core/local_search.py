@@ -26,14 +26,14 @@ much headroom it finds over raw WMA and the baselines.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
-from repro.errors import BudgetExceeded, MatchingError
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
+from repro.errors import BudgetExceeded, MatchingError
 from repro.flow.sspa import assign_all
 from repro.network.dijkstra import shortest_path_lengths
 from repro.network.incremental import StreamPool

@@ -18,12 +18,12 @@ Two repairs applied after the main loop of Algorithm 1:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import InfeasibleInstanceError
 from repro.core.instance import MCFSInstance
+from repro.errors import InfeasibleInstanceError
 from repro.network.dijkstra import multi_source_lengths, nearest_of
 
 

@@ -24,8 +24,8 @@ extensions:
 from __future__ import annotations
 
 import heapq
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.obs import metrics
 

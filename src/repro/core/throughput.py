@@ -30,11 +30,11 @@ per-facility loads are.
 from __future__ import annotations
 
 from collections import defaultdict
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
-from repro.errors import InvalidInstanceError
 from repro.core.instance import MCFSInstance
+from repro.errors import InvalidInstanceError
 from repro.flow.mcf import FlowError, FlowNetwork
 
 

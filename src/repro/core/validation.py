@@ -8,13 +8,13 @@ independently of any solver's internal bookkeeping.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import InfeasibleInstanceError, InvalidInstanceError
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
+from repro.errors import InfeasibleInstanceError, InvalidInstanceError
 from repro.network.dijkstra import shortest_path_lengths
 
 
@@ -51,7 +51,7 @@ def evaluate_objective(
     total = 0.0
     if instance.network.directed:
         by_customer_node: dict[int, list[int]] = defaultdict(list)
-        for i, j in enumerate(assignment):
+        for i, _j in enumerate(assignment):
             by_customer_node[instance.customers[i]].append(i)
         for node, members in by_customer_node.items():
             targets = {instance.facility_nodes[int(assignment[i])] for i in members}

@@ -23,13 +23,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import BudgetExceeded, MatchingError
 from repro.core.demand import DemandPolicy, SelectiveDemandPolicy
 from repro.core.instance import MCFSInstance
 from repro.core.provisions import cover_components, select_greedy
 from repro.core.set_cover import check_cover
 from repro.core.solution import MCFSSolution
 from repro.core.validation import check_feasibility
+from repro.errors import BudgetExceeded, MatchingError
 from repro.flow.bipartite import BipartiteState
 from repro.flow.sspa import ThresholdRule, assign_all, find_pair
 from repro.obs import metrics, tracing

@@ -16,17 +16,20 @@
   experiment configuration.
 """
 
+from repro.datagen.bikeflow import bike_demand_distribution, simulate_hourly_flows
 from repro.datagen.capacities import (
     operational_hours_capacities,
     uniform_capacities,
     uniform_random_capacities,
 )
+from repro.datagen.checkins import occupancy_customer_distribution, synth_occupancies
 from repro.datagen.customers import (
     clustered_customers,
     district_population_customers,
     uniform_customers,
     weighted_customers,
 )
+from repro.datagen.instances import city_instance, clustered_instance, uniform_instance
 from repro.datagen.synthetic import (
     clustered_network,
     clustered_points,
@@ -35,25 +38,7 @@ from repro.datagen.synthetic import (
     uniform_network,
     uniform_points,
 )
-from repro.datagen.urban import (
-    city_catalog,
-    grid_city,
-    organic_city,
-    radial_city,
-)
-from repro.datagen.checkins import (
-    synth_occupancies,
-    occupancy_customer_distribution,
-)
-from repro.datagen.bikeflow import (
-    bike_demand_distribution,
-    simulate_hourly_flows,
-)
-from repro.datagen.instances import (
-    clustered_instance,
-    uniform_instance,
-    city_instance,
-)
+from repro.datagen.urban import city_catalog, grid_city, organic_city, radial_city
 from repro.datagen.workloads import (
     WorkloadEvent,
     diurnal_rate,

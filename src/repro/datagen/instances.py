@@ -24,10 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.instance import MCFSInstance
-from repro.datagen.capacities import (
-    uniform_capacities,
-    uniform_random_capacities,
-)
+from repro.datagen.capacities import uniform_capacities, uniform_random_capacities
 from repro.datagen.customers import uniform_customers
 from repro.datagen.synthetic import clustered_network, uniform_network
 from repro.network.graph import Network

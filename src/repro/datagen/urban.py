@@ -75,7 +75,7 @@ def grid_city(
     keep = rng.random(len(edges)) >= drop_rate
     kept = [
         (u, v, max(float(np.hypot(*(coords[u] - coords[v]))), _MIN_WEIGHT))
-        for (u, v, _), flag in zip(edges, keep)
+        for (u, v, _), flag in zip(edges, keep, strict=True)
         if flag
     ]
     return Network(n, kept, coords=coords)
@@ -131,7 +131,7 @@ def radial_city(
             v,
             max(float(np.hypot(*(coords_arr[u] - coords_arr[v]))), _MIN_WEIGHT),
         )
-        for (u, v), flag in zip(edges, keep)
+        for (u, v), flag in zip(edges, keep, strict=True)
         if flag
     ]
     return Network(len(coords), kept, coords=coords_arr)

@@ -13,8 +13,8 @@ Events feed :class:`repro.core.dynamic.DynamicAllocator` (see
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator
 
 import numpy as np
 

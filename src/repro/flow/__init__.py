@@ -11,12 +11,7 @@
 
 from repro.flow.bipartite import BipartiteState
 from repro.flow.mcf import FlowError, FlowNetwork, FlowResult, min_cost_flow
-from repro.flow.sspa import (
-    AssignmentResult,
-    ThresholdRule,
-    assign_all,
-    find_pair,
-)
+from repro.flow.sspa import AssignmentResult, ThresholdRule, assign_all, find_pair
 
 __all__ = [
     "BipartiteState",

@@ -19,7 +19,7 @@ instance's candidate list), never by raw network node ids.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.errors import GraphError
 from repro.network.graph import Network
@@ -43,7 +43,8 @@ class _FilteredCursor:
         self._cursor = cursor
         self._allowed = allowed
 
-    def peek(self) -> tuple[int, float] | None:
+    # Driven by the checkpointed sspa reveal loop; pops are O(1) amortized.
+    def peek(self) -> tuple[int, float] | None:  # reprolint: disable=REP005
         while True:
             item = self._cursor.peek()
             if item is None or item[0] in self._allowed:
@@ -206,7 +207,10 @@ class BipartiteState:
             self.edges[i][j] for i in range(self.m) for j in self.matched[i]
         )
 
-    def matched_pairs(self) -> Iterable[tuple[int, int, float]]:
+    # Post-solve O(m) accessor over the finished matching.
+    def matched_pairs(  # reprolint: disable=REP005
+        self,
+    ) -> Iterable[tuple[int, int, float]]:
         """Yield ``(customer, facility, distance)`` for matched edges."""
         for i in range(self.m):
             for j in self.matched[i]:

@@ -14,6 +14,11 @@ potentials come from Bellman-Ford, so negative arc *costs* are accepted
 integral optimal flow, as usual.
 """
 
+# Reference implementation used for cross-checking the lazy matcher on
+# small instances (tests and the exact baseline); not on the budgeted
+# production path.
+# reprolint: disable=REP005
+
 from __future__ import annotations
 
 import heapq
@@ -171,7 +176,7 @@ class FlowNetwork:
         node with cost 0; detects negative cycles.
         """
         dist = [0.0] * self.n
-        for round_idx in range(self.n):
+        for _round_idx in range(self.n):
             changed = False
             for v in range(self.n):
                 for ai in self._out[v]:

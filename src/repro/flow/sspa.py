@@ -36,9 +36,9 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Sequence
 
 from repro.errors import MatchingError
 from repro.flow.bipartite import BipartiteState
@@ -154,7 +154,8 @@ def _residual_dijkstra(
     return dist, parent, settled, None, INF
 
 
-def _stop_bound(
+# O(settled) scan immediately following the checkpointed residual Dijkstra.
+def _stop_bound(  # reprolint: disable=REP005
     state: BipartiteState,
     dist: dict[int, float],
     settled: Sequence[int],
@@ -225,6 +226,7 @@ def find_pair(
         When no facility with residual capacity is reachable from the
         customer, even after revealing every remaining candidate edge.
     """
+    _budget_checkpoint()
     m = state.m
 
     while True:
@@ -270,7 +272,7 @@ def find_pair(
         path.append(node)
     path.reverse()
 
-    for u, v in zip(path, path[1:]):
+    for u, v in zip(path, path[1:], strict=False):
         if u < m:
             state.match(u, v - m)
         else:
@@ -318,6 +320,7 @@ def assign_all(
         network, customer_nodes, facility_nodes, capacities, pool=pool
     )
     for i in range(state.m):
+        _budget_checkpoint()
         find_pair(state, i, rule)
 
     assignment: list[int] = [-1] * state.m

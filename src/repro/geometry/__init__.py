@@ -7,11 +7,7 @@ Voronoi-based customer synthesis of Section VII-F.
 """
 
 from repro.geometry.grid_index import GridIndex
-from repro.geometry.hilbert_curve import (
-    hilbert_index,
-    hilbert_point,
-    hilbert_sort,
-)
+from repro.geometry.hilbert_curve import hilbert_index, hilbert_point, hilbert_sort
 
 __all__ = [
     "GridIndex",

@@ -13,7 +13,7 @@ test suite checks both bijectivity and a quantitative locality bound.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -19,9 +19,9 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.errors import GraphError
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
+from repro.errors import GraphError
 from repro.network.graph import Network
 
 

@@ -141,7 +141,7 @@ def load_osm_xml(
             for nd in way.findall("nd")
             if int(nd.attrib.get("ref", -1)) in lat_lon
         ]
-        for a, b in zip(refs, refs[1:]):
+        for a, b in zip(refs, refs[1:], strict=False):
             if a == b:
                 continue
             la1, lo1 = lat_lon[a]

@@ -52,7 +52,7 @@ def load_network(path: str | Path) -> Network:
             int(data["n_nodes"]),
             [
                 (int(u), int(v), float(w))
-                for (u, v), w in zip(edges, weights)
+                for (u, v), w in zip(edges, weights, strict=True)
             ],
             coords=coords,
             directed=bool(int(data["directed"])),
@@ -93,7 +93,9 @@ def load_instance(path: str | Path) -> MCFSInstance:
             int(data["n_nodes"]),
             [
                 (int(u), int(v), float(w))
-                for (u, v), w in zip(data["edges"], data["weights"])
+                for (u, v), w in zip(
+                    data["edges"], data["weights"], strict=True
+                )
             ],
             coords=coords,
             directed=bool(int(data["directed"])),

@@ -10,21 +10,23 @@ kernels (:mod:`repro.network.kernels`), process-parallel fan-out
 (:mod:`repro.network.components`).
 """
 
+from repro.network.astar import astar_distance
 from repro.network.components import (
     ComponentStructure,
-    connected_components,
     component_labels,
+    connected_components,
 )
-from repro.network.astar import astar_distance
 from repro.network.dijkstra import (
     DijkstraResult,
-    shortest_path_lengths,
-    shortest_path,
-    multi_source_lengths,
     distance_matrix,
+    multi_source_lengths,
     nearest_of,
+    shortest_path,
+    shortest_path_lengths,
 )
 from repro.network.distcache import DistanceCache
+from repro.network.graph import GraphStats, Network
+from repro.network.incremental import NearestFacilityStream, StreamCursor, StreamPool
 from repro.network.kernels import DijkstraWorkspace, many_source_lengths
 from repro.network.parallel import ParallelDistanceEngine, resolve_workers
 from repro.network.subgraph import (
@@ -35,8 +37,6 @@ from repro.network.subgraph import (
     restrict_instance,
 )
 from repro.network.voronoi import VoronoiPartition, voronoi_cells
-from repro.network.graph import Network, GraphStats
-from repro.network.incremental import NearestFacilityStream, StreamCursor, StreamPool
 
 __all__ = [
     "Network",

@@ -12,10 +12,14 @@ for capacity accounting concerns which customers and facilities can
 possibly interact at all.
 """
 
+# Component labeling is a single O(n+m) pass at instance-build/validation
+# time, dominated by the checkpointed solver work that follows.
+# reprolint: disable=REP005
+
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -91,7 +95,7 @@ class ComponentStructure:
         network: Network,
         customer_nodes: Sequence[int],
         facility_nodes: Sequence[int],
-    ) -> "ComponentStructure":
+    ) -> ComponentStructure:
         """Group customers and facilities by their network component."""
         labels = component_labels(network)
         n_comp = int(labels.max()) + 1 if labels.size else 0

@@ -28,8 +28,8 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -63,7 +63,8 @@ class DijkstraResult:
     parent: np.ndarray
     settled: list[int] = field(default_factory=list)
 
-    def path_to(self, target: int) -> list[int]:
+    # Post-solve O(path-length) reconstruction; budgets do not apply.
+    def path_to(self, target: int) -> list[int]:  # reprolint: disable=REP005
         """Recover the node sequence from the source to ``target``.
 
         Raises
@@ -243,13 +244,14 @@ def multi_source_lengths(
     )
 
 
-def distance_matrix(
+# The per-source kernel runs checkpoint inside DijkstraWorkspace.run.
+def distance_matrix(  # reprolint: disable=REP005
     network: Network,
     sources: Sequence[int],
     targets: Sequence[int],
     *,
     workers: int | None = None,
-    cache: "_distcache.DistanceCache | bool | None" = None,
+    cache: _distcache.DistanceCache | bool | None = None,
 ) -> np.ndarray:
     """Shortest-path distance matrix between two node sets.
 
@@ -309,6 +311,7 @@ def nearest_of(
     or ``None`` when no target is reachable.  Used by Algorithm 4 to find
     the unselected candidate facility closest to an under-served customer.
     """
+    _budget_checkpoint()
     target_set = {int(t) for t in targets}
     if not target_set:
         return None

@@ -21,11 +21,15 @@ distances are final, so slicing a cached vector at any target set is
 bit-identical to an early-exit run from the same source.
 """
 
+# Cache admin loops are O(entries); the miss path delegates to the
+# checkpointed Dijkstra kernel.
+# reprolint: disable=REP005
+
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterator
 from contextlib import contextmanager
-from typing import Iterator
 
 import numpy as np
 
@@ -54,7 +58,7 @@ class DistanceCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
-        self._entries: "OrderedDict[tuple[str, int], np.ndarray]" = (
+        self._entries: OrderedDict[tuple[str, int], np.ndarray] = (
             OrderedDict()
         )
         self.hits = 0

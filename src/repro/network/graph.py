@@ -11,11 +11,16 @@ directions); a directed mode is available because the problem statement in
 the paper permits directed networks.
 """
 
+# Construction-time module: Network building and its accessors run before
+# any budget scope is active.
+# reprolint: disable=REP005
+
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -134,7 +139,7 @@ class Network:
         indices = np.empty(len(arcs_u), dtype=np.int64)
         weights = np.empty(len(arcs_u), dtype=np.float64)
         cursor = indptr[:-1].copy()
-        for u, v, w in zip(arcs_u, arcs_v, arcs_w):
+        for u, v, w in zip(arcs_u, arcs_v, arcs_w, strict=True):
             pos = cursor[u]
             indices[pos] = v
             weights[pos] = w
@@ -241,7 +246,7 @@ class Network:
 
     def edges(self) -> Iterator[Edge]:
         """Yield the input edges as ``(u, v, weight)`` triples."""
-        for (u, v), w in zip(self._edge_array, self._edge_weights):
+        for (u, v), w in zip(self._edge_array, self._edge_weights, strict=True):
             yield int(u), int(v), float(w)
 
     def edge_lengths(self) -> np.ndarray:
@@ -291,7 +296,7 @@ class Network:
         return g
 
     @classmethod
-    def from_networkx(cls, g, weight: str = "weight") -> "Network":
+    def from_networkx(cls, g, weight: str = "weight") -> Network:
         """Build a :class:`Network` from a :mod:`networkx` graph.
 
         Node labels must be dense integers ``0..n-1``; relabel first with

@@ -21,11 +21,15 @@ how advances interleave -- the amortized guarantee the paper's complexity
 analysis relies on.
 """
 
+# Streams are driven by the checkpointed sspa/set_cover outer loops (one
+# checkpoint per heavy operation, per the budget granularity convention).
+# reprolint: disable=REP005
+
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.network.graph import Network
 from repro.obs import metrics

@@ -33,7 +33,7 @@ from __future__ import annotations
 import heapq
 import math
 import weakref
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -86,7 +86,7 @@ class DijkstraWorkspace:
         indices: Sequence[int],
         weights: Sequence[float],
         n_nodes: int,
-    ) -> "DijkstraWorkspace":
+    ) -> DijkstraWorkspace:
         """Build a workspace from raw CSR arrays (no Network required).
 
         Used by process-pool workers that receive the adjacency through
@@ -281,7 +281,7 @@ class DijkstraWorkspace:
 # ----------------------------------------------------------------------
 # Per-network workspace cache
 # ----------------------------------------------------------------------
-_WORKSPACES: "weakref.WeakKeyDictionary[Network, DijkstraWorkspace]" = (
+_WORKSPACES: weakref.WeakKeyDictionary[Network, DijkstraWorkspace] = (
     weakref.WeakKeyDictionary()
 )
 
@@ -300,7 +300,8 @@ def workspace_for(network: Network) -> DijkstraWorkspace:
     return ws
 
 
-def many_source_lengths(
+# The per-group kernel runs checkpoint inside DijkstraWorkspace.run.
+def many_source_lengths(  # reprolint: disable=REP005
     network: Network,
     source_groups: Sequence[Sequence[int]],
     *,

@@ -26,13 +26,18 @@ The worker count resolves as: explicit argument, else the
 ``REPRO_WORKERS`` environment variable, else 1 (serial).
 """
 
+# Worker-process and pool-admin code: the cooperative budget is scoped to
+# the parent process, whose fan-out loops checkpoint between chunks.
+# reprolint: disable=REP005
+
 from __future__ import annotations
 
 import math
 import multiprocessing
 import os
+from collections.abc import Sequence
 from multiprocessing import shared_memory
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -188,7 +193,7 @@ class ParallelDistanceEngine:
         self._shm_blocks: list[shared_memory.SharedMemory] = []
 
     # -- lifecycle -----------------------------------------------------
-    def __enter__(self) -> "ParallelDistanceEngine":
+    def __enter__(self) -> ParallelDistanceEngine:
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -260,7 +265,7 @@ class ParallelDistanceEngine:
         bounds = np.linspace(0, len(items), n_chunks + 1).astype(int)
         return [
             items[lo:hi]
-            for lo, hi in zip(bounds[:-1], bounds[1:])
+            for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
             if hi > lo
         ]
 

@@ -8,10 +8,15 @@ induced :class:`~repro.network.graph.Network` plus the node relabelling,
 and lift instances onto it.
 """
 
+# Instance-construction module: subgraph extraction happens while building
+# or restricting instances, outside any budget scope.
+# reprolint: disable=REP005
+
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 

@@ -14,14 +14,26 @@ The subsystem has three layers (see each module's docstring):
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.obs import metrics, tracing
 from repro.obs.metrics import Counter, Gauge, Registry, Timer
-from repro.obs.profile import (
-    ProfileReport,
-    check_against_baseline,
-    profile_solver,
-)
 from repro.obs.tracing import Span, Trace
+
+#: Profiling names resolved lazily (PEP 562): :mod:`repro.obs.profile`
+#: imports the solver stack, which itself uses the metrics layer -- an
+#: eager import here would make ``repro.obs`` unimportable from low-level
+#: modules such as :mod:`repro.runtime.budget`.
+_PROFILE_EXPORTS = ("ProfileReport", "check_against_baseline", "profile_solver")
+
+
+def __getattr__(name: str) -> Any:
+    if name in _PROFILE_EXPORTS:
+        from repro.obs import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "metrics",

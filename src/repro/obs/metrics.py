@@ -31,8 +31,9 @@ them at import time -- so swapping registries is always safe.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any
 
 
 class Counter:
@@ -119,7 +120,7 @@ class Registry:
         self._instruments: dict[str, Counter | Gauge | Timer] = {}
         self._version = 0
 
-    def _get(self, name: str, cls: type) -> Any:
+    def _get(self, name: str, cls: type[Any]) -> Any:
         inst = self._instruments.get(name)
         if inst is None:
             inst = cls(name)

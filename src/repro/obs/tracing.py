@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import json
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, TextIO
+from typing import Any, TextIO
 
 
 @dataclass
@@ -117,7 +118,7 @@ class Trace:
     def import_jsonl(source: str | TextIO) -> list[dict[str, Any]]:
         """Read back rows written by :meth:`export_jsonl`."""
         if isinstance(source, str):
-            with open(source, "r", encoding="utf-8") as fh:
+            with open(source, encoding="utf-8") as fh:
                 return Trace.import_jsonl(fh)
         return [json.loads(line) for line in source if line.strip()]
 

@@ -14,9 +14,14 @@ The runtime layer turns the library's solvers into service-grade calls:
 """
 
 from repro.errors import BudgetExceeded
-from repro.runtime.budget import Budget, checkpoint, grace
-from repro.runtime.budget import active as active_budget
-from repro.runtime.budget import use as use_budget
+from repro.runtime.budget import (
+    Budget,
+    active as active_budget,
+    checkpoint,
+    grace,
+    use as use_budget,
+)
+from repro.runtime.faults import FaultPlan, use as use_faults
 from repro.runtime.options import (
     SolverOptions,
     normalize_options,
@@ -25,8 +30,6 @@ from repro.runtime.options import (
     spec_for,
     valid_options,
 )
-from repro.runtime.faults import FaultPlan
-from repro.runtime.faults import use as use_faults
 from repro.runtime.runner import (
     DEFAULT_CHAINS,
     ChainResult,

@@ -27,8 +27,8 @@ fallback chain's overall deadline always dominates per-solver limits.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
-from typing import Iterator
 
 from repro.errors import BudgetExceeded
 from repro.obs import metrics
@@ -42,7 +42,7 @@ __all__ = [
     "use",
 ]
 
-_active: "Budget | None" = None
+_active: Budget | None = None
 
 #: Seconds slept on every deadline check; set by :mod:`repro.runtime.faults`
 #: to simulate slow Dijkstra sweeps.  Always 0.0 outside fault scopes.

@@ -28,9 +28,9 @@ installs one.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
 
 from repro.errors import (
     BudgetExceeded,

@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import functools
 import warnings
+from collections.abc import Callable, Iterator, Mapping
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any
 
 from repro.errors import SolverError
 from repro.runtime.budget import Budget, use as use_budget
@@ -90,7 +91,7 @@ class SolverOptions:
     extras: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
-    def coerce(cls, value: "SolverOptions | Mapping[str, Any] | None") -> "SolverOptions":
+    def coerce(cls, value: SolverOptions | Mapping[str, Any] | None) -> SolverOptions:
         """Build a :class:`SolverOptions` from ``None``, a dict, or itself.
 
         Dict keys that are not dataclass fields land in ``extras``, so
@@ -114,7 +115,7 @@ class SolverOptions:
             f"got {type(value).__name__}"
         )
 
-    def merged(self, **overrides: Any) -> "SolverOptions":
+    def merged(self, **overrides: Any) -> SolverOptions:
         """Copy with ``overrides`` applied (``extras`` merge, not replace)."""
         extras = dict(self.extras)
         extras.update(overrides.pop("extras", {}))
@@ -168,7 +169,7 @@ def valid_options(method: str) -> list[str]:
 
 def normalize_options(
     method: str,
-    options: "SolverOptions | Mapping[str, Any] | None" = None,
+    options: SolverOptions | Mapping[str, Any] | None = None,
     kwargs: Mapping[str, Any] | None = None,
     *,
     warn_legacy: bool = True,
@@ -276,8 +277,8 @@ def solver_api(
             with option_scopes(opts):
                 return inner(instance, **call)
 
-        entry.__solver_method__ = method
-        entry.__solver_spec__ = spec
+        entry.__solver_method__ = method  # type: ignore[attr-defined]
+        entry.__solver_spec__ = spec  # type: ignore[attr-defined]
         return entry
 
     return decorate

@@ -25,13 +25,13 @@ per attempt go through the ambient :mod:`repro.obs` layer.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any
 
 from repro.errors import BudgetExceeded, ReproError, SolverError
 from repro.obs import metrics, tracing
-from repro.runtime import budget as _budget
-from repro.runtime import faults as _faults
+from repro.runtime import budget as _budget, faults as _faults
 from repro.runtime.options import SolverOptions, option_scopes, spec_for
 
 __all__ = [

@@ -6,16 +6,11 @@ import numpy as np
 import pytest
 
 from repro import solve
-from repro.analysis import (
-    compare_solutions,
-    convergence_report,
-    solution_stats,
-)
+from repro.analysis import compare_solutions, convergence_report, solution_stats
 from repro.analysis.reports import _gini
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
 from repro.core.wma import WMASolver, WMATrace
-
 from tests.conftest import build_line_network, build_random_instance
 
 

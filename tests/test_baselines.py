@@ -13,7 +13,6 @@ from repro.core.validation import validate_solution
 from repro.core.wma import solve_wma
 from repro.errors import InfeasibleInstanceError
 from repro.network.dijkstra import distance_matrix
-
 from tests.conftest import (
     build_grid_network,
     build_line_network,

@@ -7,6 +7,7 @@ import json
 
 import pytest
 
+from repro.bench import experiments as ex
 from repro.bench.harness import (
     BenchRow,
     best_objective,
@@ -16,13 +17,7 @@ from repro.bench.harness import (
     save_rows,
     solver_row,
 )
-from repro.bench.reporting import (
-    format_series,
-    format_table,
-    paper_shape_summary,
-)
-from repro.bench import experiments as ex
-
+from repro.bench.reporting import format_series, format_table, paper_shape_summary
 from tests.conftest import build_random_instance
 
 

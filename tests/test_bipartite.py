@@ -7,7 +7,6 @@ import pytest
 from repro.errors import GraphError
 from repro.flow.bipartite import BipartiteState
 from repro.network.incremental import StreamPool
-
 from tests.conftest import build_line_network
 
 

@@ -10,11 +10,7 @@ from repro.datagen.bikeflow import (
     node_divergence,
     simulate_hourly_flows,
 )
-from repro.datagen.checkins import (
-    occupancy_customer_distribution,
-    synth_occupancies,
-)
-
+from repro.datagen.checkins import occupancy_customer_distribution, synth_occupancies
 from tests.conftest import (
     build_grid_network,
     build_line_network,

@@ -8,7 +8,6 @@ import pytest
 
 from repro.cli import main
 from repro.io.serialization import load_instance, save_instance
-
 from tests.conftest import build_random_instance
 
 

@@ -11,11 +11,7 @@ from repro.network.components import (
     customers_per_component,
 )
 from repro.network.graph import Network
-
-from tests.conftest import (
-    build_line_network,
-    build_two_component_network,
-)
+from tests.conftest import build_line_network, build_two_component_network
 
 
 class TestLabels:

@@ -16,7 +16,6 @@ from repro.datagen.customers import (
     uniform_customers,
     weighted_customers,
 )
-
 from tests.conftest import build_grid_network, build_random_network
 
 

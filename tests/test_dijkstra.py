@@ -7,8 +7,7 @@ import math
 import networkx as nx
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import GraphError
 from repro.network.dijkstra import (
@@ -20,7 +19,6 @@ from repro.network.dijkstra import (
     shortest_path_lengths,
 )
 from repro.network.graph import Network
-
 from tests.conftest import (
     build_line_network,
     build_random_network,
@@ -97,7 +95,7 @@ class TestPathRecovery:
         # Path must be contiguous and have matching length.
         total = 0.0
         nxg = g.to_networkx()
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             total += nxg[u][v]["weight"]
         assert total == pytest.approx(dist)
 

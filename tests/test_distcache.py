@@ -10,7 +10,6 @@ from repro.network import distcache
 from repro.network.dijkstra import distance_matrix
 from repro.network.distcache import DistanceCache
 from repro.obs import metrics
-
 from tests.conftest import (
     build_random_instance,
     build_random_network,
@@ -135,7 +134,7 @@ class TestHarnessIntegration:
         methods = ["exact", "brnn", "kmedian-ls"]
         plain = run_solvers(inst, methods)
         cached = run_solvers(inst, methods, distance_cache=True)
-        for p, c in zip(plain, cached):
+        for p, c in zip(plain, cached, strict=True):
             assert c.objective == p.objective
             assert c.status == p.status == "ok"
 

@@ -9,7 +9,6 @@ from repro.core.dynamic import DynamicAllocator
 from repro.core.instance import MCFSInstance
 from repro.errors import InvalidInstanceError, MatchingError
 from repro.flow.sspa import assign_all
-
 from tests.conftest import build_line_network
 
 

@@ -9,7 +9,7 @@ cost-equal to a fresh optimal assignment of the surviving customers.
 from __future__ import annotations
 
 import pytest
-from hypothesis import settings
+from hypothesis import settings, strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
@@ -17,13 +17,11 @@ from hypothesis.stateful import (
     precondition,
     rule,
 )
-from hypothesis import strategies as st
 
 from repro.core.dynamic import DynamicAllocator
 from repro.core.instance import MCFSInstance
 from repro.errors import MatchingError
 from repro.flow.sspa import assign_all
-
 from tests.conftest import build_grid_network
 
 GRID = build_grid_network(5, 5)

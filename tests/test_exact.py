@@ -11,7 +11,6 @@ from repro.core.instance import MCFSInstance
 from repro.core.validation import validate_solution
 from repro.errors import InfeasibleInstanceError, MatchingError
 from repro.flow.sspa import assign_all
-
 from tests.conftest import (
     build_line_network,
     build_random_instance,

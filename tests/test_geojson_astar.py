@@ -19,7 +19,6 @@ from repro.io.geojson import (
 from repro.network.astar import astar_distance
 from repro.network.dijkstra import shortest_path
 from repro.network.graph import Network
-
 from tests.conftest import (
     build_grid_network,
     build_random_network,
@@ -130,7 +129,7 @@ class TestAstar:
         dist, path = astar_distance(g, 0, 24)
         total = 0.0
         nxg = g.to_networkx()
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             assert nxg.has_edge(u, v)
             total += nxg[u][v]["weight"]
         assert total == pytest.approx(dist)

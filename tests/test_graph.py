@@ -7,7 +7,6 @@ import pytest
 
 from repro.errors import GraphError
 from repro.network.graph import Network
-
 from tests.conftest import build_grid_network, build_line_network
 
 

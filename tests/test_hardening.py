@@ -8,11 +8,7 @@ import sys
 import numpy as np
 import pytest
 
-from repro.datagen.urban import (
-    _stitch_components,
-    organic_city,
-    radial_city,
-)
+from repro.datagen.urban import _stitch_components, organic_city, radial_city
 from repro.network.components import connected_components
 from repro.network.graph import Network
 

@@ -4,14 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.geometry.hilbert_curve import (
-    hilbert_index,
-    hilbert_point,
-    hilbert_sort,
-)
+from repro.geometry.hilbert_curve import hilbert_index, hilbert_point, hilbert_sort
 
 
 class TestCodec:

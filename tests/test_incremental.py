@@ -6,17 +6,11 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.network.dijkstra import _run, distance_matrix
-from repro.network.incremental import (
-    NearestFacilityStream,
-    StreamCursor,
-    StreamPool,
-)
+from repro.network.incremental import NearestFacilityStream, StreamCursor, StreamPool
 from repro.obs import metrics
-
 from tests.conftest import (
     build_line_network,
     build_random_network,
@@ -39,7 +33,7 @@ class TestStream:
         stream = NearestFacilityStream(g, 0, facilities)
         mat = distance_matrix(g, [0], facilities)[0]
         expected = sorted(
-            zip(facilities, mat), key=lambda p: (p[1], p[0])
+            zip(facilities, mat, strict=True), key=lambda p: (p[1], p[0])
         )
         for rank, (node, dist) in enumerate(expected):
             got = stream.facility_at(rank)

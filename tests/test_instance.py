@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.instance import MCFSInstance
 from repro.errors import InvalidInstanceError
-
 from tests.conftest import build_line_network, build_two_component_network
 
 

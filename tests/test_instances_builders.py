@@ -5,11 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.validation import is_feasible
-from repro.datagen.instances import (
-    city_instance,
-    clustered_instance,
-    uniform_instance,
-)
+from repro.datagen.instances import city_instance, clustered_instance, uniform_instance
 from repro.datagen.urban import grid_city
 
 

@@ -19,17 +19,9 @@ from repro.network.dijkstra import (
     multi_source_lengths,
 )
 from repro.network.graph import Network
-from repro.network.kernels import (
-    DijkstraWorkspace,
-    many_source_lengths,
-    workspace_for,
-)
+from repro.network.kernels import DijkstraWorkspace, many_source_lengths, workspace_for
 from repro.obs import metrics
-
-from tests.conftest import (
-    build_random_network,
-    build_two_component_network,
-)
+from tests.conftest import build_random_network, build_two_component_network
 
 
 def build_random_directed_network(n: int, seed: int = 0) -> Network:
@@ -62,6 +54,7 @@ def assert_parents_valid(network, dist, parent, sources):
             ),
             network.csr[1],
             network.csr[2],
+            strict=True,
         )
     }
     source_set = {int(s) for s in sources}

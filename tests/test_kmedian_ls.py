@@ -8,7 +8,6 @@ from repro import solve, validate_solution
 from repro.baselines.kmedian_ls import _uncapacitated_cost, solve_kmedian_ls
 from repro.core.instance import MCFSInstance
 from repro.errors import InfeasibleInstanceError
-
 from tests.conftest import (
     build_grid_network,
     build_line_network,

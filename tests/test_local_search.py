@@ -7,16 +7,11 @@ import itertools
 import pytest
 
 from repro import solve, validate_solution
-from repro.core.local_search import (
-    RefinementReport,
-    refine_solution,
-    solve_wma_refined,
-)
 from repro.core.instance import MCFSInstance
+from repro.core.local_search import RefinementReport, refine_solution, solve_wma_refined
 from repro.core.solution import MCFSSolution
 from repro.errors import MatchingError
 from repro.flow.sspa import assign_all
-
 from tests.conftest import build_line_network, build_random_instance
 
 

@@ -190,7 +190,7 @@ class TestAgainstNetworkx:
         supplies = {0: 4, 3: -4}
         result = min_cost_flow(4, arcs, supplies)
         inflow = [0.0] * 4
-        for (tail, head, _, _), f in zip(arcs, result.flows):
+        for (tail, head, _, _), f in zip(arcs, result.flows, strict=True):
             inflow[head] += f
             inflow[tail] -= f
         assert inflow[0] == pytest.approx(-4)

@@ -20,7 +20,6 @@ from repro.errors import MatchingError
 from repro.flow.sspa import assign_all
 from repro.network.dijkstra import distance_matrix
 from repro.network.graph import Network
-
 from tests.conftest import build_grid_network, build_random_network
 
 SCALE = 10_000

@@ -10,11 +10,7 @@ import pytest
 from repro.datagen.instances import uniform_instance
 from repro.obs import metrics, tracing
 from repro.obs.metrics import Registry
-from repro.obs.profile import (
-    ProfileReport,
-    check_against_baseline,
-    profile_solver,
-)
+from repro.obs.profile import ProfileReport, check_against_baseline, profile_solver
 from repro.obs.tracing import Trace
 
 

@@ -11,11 +11,7 @@ import pytest
 from repro import solve, validate_solution
 from repro.core.instance import MCFSInstance
 from repro.errors import GraphError
-from repro.io.osm import (
-    EARTH_RADIUS_M,
-    load_osm_xml,
-    nearest_network_node,
-)
+from repro.io.osm import EARTH_RADIUS_M, load_osm_xml, nearest_network_node
 
 # A tiny hand-written extract: a 4-node square of residential streets
 # (~111 m sides), one oneway street, one footpath-free building way, and

@@ -20,12 +20,11 @@ from repro.network.dijkstra import distance_matrix, multi_source_lengths
 from repro.network.parallel import (
     MIN_PARALLEL_SOURCES,
     MIN_PARALLEL_WORK,
-    ParallelDistanceEngine,
     WORKERS_ENV_VAR,
+    ParallelDistanceEngine,
     resolve_workers,
 )
 from repro.obs import metrics
-
 from tests.conftest import (
     build_random_instance,
     build_random_network,

@@ -4,14 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import solve, validate_solution
 from repro.core.instance import MCFSInstance
 from repro.core.validation import is_feasible
 from repro.errors import InfeasibleInstanceError
-
 from tests.conftest import build_random_network
 
 

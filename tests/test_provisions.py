@@ -7,11 +7,7 @@ import pytest
 from repro.core.instance import MCFSInstance
 from repro.core.provisions import cover_components, select_greedy
 from repro.errors import InfeasibleInstanceError
-
-from tests.conftest import (
-    build_line_network,
-    build_two_component_network,
-)
+from tests.conftest import build_line_network, build_two_component_network
 
 
 class TestSelectGreedy:

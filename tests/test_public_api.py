@@ -6,7 +6,6 @@ import pytest
 
 import repro
 from repro import SOLVERS, solve, validate_solution
-
 from tests.conftest import build_random_instance
 
 

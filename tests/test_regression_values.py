@@ -16,7 +16,6 @@ from repro.core.instance import MCFSInstance
 from repro.datagen.instances import uniform_instance
 from repro.datagen.synthetic import clustered_network, uniform_network
 from repro.geometry.hilbert_curve import hilbert_index
-
 from tests.conftest import build_line_network
 
 

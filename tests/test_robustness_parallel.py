@@ -16,7 +16,6 @@ from repro.bench.reporting import sparkline
 from repro.core.instance import MCFSInstance
 from repro.datagen.instances import uniform_instance
 from repro.errors import MatchingError
-
 from tests.conftest import build_grid_network, build_random_instance
 
 

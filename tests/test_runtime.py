@@ -7,14 +7,15 @@ import time
 import pytest
 
 import repro
-from repro import MCFSInstance, SOLVERS, SolverOptions, solve
+from repro import SOLVERS, MCFSInstance, SolverOptions, solve
 from repro.bench.harness import run_solvers, solver_row
+from repro.core.validation import validate_solution
 from repro.datagen import uniform_instance
 from repro.errors import BudgetExceeded, SolverError
 from repro.obs import metrics
 from repro.runtime import (
-    Budget,
     DEFAULT_CHAINS,
+    Budget,
     chain_for,
     checkpoint,
     grace,
@@ -24,7 +25,6 @@ from repro.runtime import (
     use_budget,
     valid_options,
 )
-from repro.core.validation import validate_solution
 
 
 @pytest.fixture(scope="module")

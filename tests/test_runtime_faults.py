@@ -18,10 +18,10 @@ from repro.obs import metrics
 from repro.runtime import (
     DEFAULT_CHAINS,
     FaultPlan,
+    faults as faults_mod,
     solve_with_fallback,
     use_faults,
 )
-from repro.runtime import faults as faults_mod
 
 
 @pytest.fixture(scope="module")
@@ -64,8 +64,14 @@ class TestFaultPlan:
         assert any(decisions_a) and not all(decisions_a)
 
     def test_different_seed_different_schedule(self):
-        a = [FaultPlan(seed=1, timeout_rate=0.5)._times_out("wma", i) for i in range(50)]
-        b = [FaultPlan(seed=2, timeout_rate=0.5)._times_out("wma", i) for i in range(50)]
+        a = [
+            FaultPlan(seed=1, timeout_rate=0.5)._times_out("wma", i)
+            for i in range(50)
+        ]
+        b = [
+            FaultPlan(seed=2, timeout_rate=0.5)._times_out("wma", i)
+            for i in range(50)
+        ]
         assert a != b
 
     def test_scope_installs_and_restores(self):

@@ -13,9 +13,8 @@ from repro.io.serialization import (
     save_network,
     save_solution,
 )
-
-from tests.conftest import build_random_instance, build_random_network
 from repro.network.graph import Network
+from tests.conftest import build_random_instance, build_random_network
 
 
 class TestNetworkRoundTrip:

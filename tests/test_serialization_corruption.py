@@ -7,6 +7,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.solution import MCFSSolution
 from repro.io.serialization import (
     load_instance,
     load_network,
@@ -15,8 +16,6 @@ from repro.io.serialization import (
     save_network,
     save_solution,
 )
-from repro.core.solution import MCFSSolution
-
 from tests.conftest import build_line_network, build_random_instance
 
 

@@ -11,7 +11,6 @@ from repro.baselines.hilbert import _component_budgets
 from repro.baselines.wma_naive import _final_greedy_assignment
 from repro.core.instance import MCFSInstance
 from repro.core.wma import solve_wma_uniform_first
-
 from tests.conftest import (
     build_grid_network,
     build_line_network,

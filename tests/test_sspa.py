@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 from scipy.optimize import linear_sum_assignment
 
 from repro.errors import MatchingError
@@ -13,7 +12,6 @@ from repro.flow.bipartite import BipartiteState
 from repro.flow.sspa import ThresholdRule, assign_all, find_pair
 from repro.network.dijkstra import distance_matrix
 from repro.network.graph import Network
-
 from tests.conftest import (
     build_line_network,
     build_random_network,

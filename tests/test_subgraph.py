@@ -15,11 +15,7 @@ from repro.network.subgraph import (
     largest_component,
     restrict_instance,
 )
-
-from tests.conftest import (
-    build_line_network,
-    build_two_component_network,
-)
+from tests.conftest import build_line_network, build_two_component_network
 
 
 class TestInducedSubgraph:

@@ -8,19 +8,11 @@ import pytest
 
 from repro import solve
 from repro.core.instance import MCFSInstance
-from repro.core.throughput import (
-    assign_with_throughput,
-    congestion_profile,
-)
+from repro.core.throughput import assign_with_throughput, congestion_profile
 from repro.errors import InvalidInstanceError
 from repro.flow.mcf import FlowError
 from repro.flow.sspa import assign_all
-
-from tests.conftest import (
-    build_grid_network,
-    build_line_network,
-    build_random_instance,
-)
+from tests.conftest import build_grid_network, build_line_network, build_random_instance
 
 
 def line_instance() -> MCFSInstance:

@@ -4,12 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datagen.urban import (
-    city_catalog,
-    grid_city,
-    organic_city,
-    radial_city,
-)
+from repro.datagen.urban import city_catalog, grid_city, organic_city, radial_city
 
 
 class TestGridCity:

@@ -13,7 +13,6 @@ from repro.core.validation import (
     validate_solution,
 )
 from repro.errors import InfeasibleInstanceError, InvalidInstanceError
-
 from tests.conftest import build_line_network, build_two_component_network
 
 

@@ -8,7 +8,6 @@ import pytest
 from repro.errors import GraphError
 from repro.network.dijkstra import distance_matrix
 from repro.network.voronoi import voronoi_cells
-
 from tests.conftest import (
     build_grid_network,
     build_line_network,

@@ -13,7 +13,6 @@ from repro.core.validation import validate_solution
 from repro.core.wma import WMASolver, solve_wma, solve_wma_uniform_first
 from repro.errors import InfeasibleInstanceError, MatchingError
 from repro.flow.sspa import ThresholdRule, assign_all
-
 from tests.conftest import (
     build_line_network,
     build_random_instance,

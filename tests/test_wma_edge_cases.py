@@ -7,7 +7,6 @@ import pytest
 from repro import solve, validate_solution
 from repro.core.instance import MCFSInstance
 from repro.core.wma import WMASolver
-
 from tests.conftest import (
     build_grid_network,
     build_line_network,

@@ -15,7 +15,6 @@ from repro.datagen.workloads import (
     replay,
 )
 from repro.errors import MatchingError
-
 from tests.conftest import build_grid_network
 
 
