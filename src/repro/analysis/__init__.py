@@ -1,40 +1,62 @@
-"""Post-hoc analysis of MCFS solutions, solver runs, and the codebase.
+"""reprolint -- the repo-specific static-analysis pass.
 
-Besides the solution/robustness reports, this package hosts
-**reprolint** -- the repo-specific static-analysis pass (``repro lint``
-/ ``python -m repro.analysis``); see :mod:`repro.analysis.rules` for the
-REP rule catalogue and ``docs/dev.md`` for the workflow.
+This package hosts the lint engine (``repro lint`` /
+``python -m repro.analysis``): per-file AST rules in
+:mod:`repro.analysis.rules`, the whole-program graph layer in
+:mod:`repro.analysis.graphs` (import graph, call graph, effect
+inference, layering contract), the ratchet baseline, and the CLI.  See
+``docs/dev.md`` for the rule catalogue and workflow.
+
+Layering contract (enforced by REP102 on itself): ``analysis`` imports
+nothing but the standard library at import time, so the linter runs
+even on a tree that cannot import.  The *solution* analysis helpers
+that used to live here (solution stats, demand-drift robustness) moved
+to :mod:`repro.bench.solution_stats` and :mod:`repro.bench.robustness`;
+the lazy forwards below keep ``from repro.analysis import
+compare_solutions`` working.
 """
 
 from repro.analysis.baseline import load_baseline, save_baseline
 from repro.analysis.engine import LintEngine, default_root
 from repro.analysis.findings import Finding, LintResult
-from repro.analysis.reports import (
-    SolutionStats,
-    compare_solutions,
-    convergence_report,
-    solution_stats,
+from repro.analysis.graphs import AnalysisProject
+
+#: Names lazily forwarded to their new homes in ``repro.bench`` (PEP 562).
+_SOLUTION_EXPORTS = (
+    "SolutionStats",
+    "solution_stats",
+    "compare_solutions",
+    "convergence_report",
 )
-from repro.analysis.robustness import (
-    DriftPoint,
-    drift_study,
-    reassignment_cost,
-    selection_regret,
+_ROBUSTNESS_EXPORTS = (
+    "DriftPoint",
+    "drift_study",
+    "reassignment_cost",
+    "selection_regret",
 )
 
 __all__ = [
+    "AnalysisProject",
     "Finding",
     "LintEngine",
     "LintResult",
     "default_root",
     "load_baseline",
     "save_baseline",
-    "SolutionStats",
-    "solution_stats",
-    "compare_solutions",
-    "convergence_report",
-    "DriftPoint",
-    "drift_study",
-    "reassignment_cost",
-    "selection_regret",
+    *_SOLUTION_EXPORTS,
+    *_ROBUSTNESS_EXPORTS,
 ]
+
+
+def __getattr__(name: str) -> object:
+    if name in _SOLUTION_EXPORTS:
+        from repro.bench import solution_stats
+
+        return getattr(solution_stats, name)
+    if name in _ROBUSTNESS_EXPORTS:
+        from repro.bench import robustness
+
+        return getattr(robustness, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

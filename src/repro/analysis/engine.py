@@ -9,11 +9,20 @@ ratchet baseline (:mod:`repro.analysis.baseline`).
 
 Suppression syntax (checked by ``tests/test_reprolint.py``):
 
-* a standalone comment line ``# reprolint: disable=REP005`` disables the
+* a standalone comment line ``# reprolint: disable=REP101`` disables the
   named rule(s) for the whole file (comma-separate ids; ``all`` disables
   everything);
 * the same comment trailing a code line disables the rule(s) for
-  findings reported on exactly that line.
+  findings reported on exactly that line;
+* a trailing ``-- <reason>`` attaches a justification:
+  ``# reprolint: disable=REP103 -- memo write, materialized pre-fork``.
+  Rules in :data:`JUSTIFIED_RULES` *require* one -- an unjustified
+  directive for them is ignored and the finding still fires.
+
+Cross-file rules that need the whole-program graphs
+(:mod:`repro.analysis.graphs`) receive an :class:`AnalysisProject`
+through an optional ``set_project`` hook, called after every file has
+parsed and before ``finalize``.
 """
 
 from __future__ import annotations
@@ -25,8 +34,15 @@ from pathlib import Path
 
 from repro.analysis.baseline import apply_baseline, load_baseline
 from repro.analysis.findings import Finding, LintResult
+from repro.analysis.graphs import AnalysisProject
 
-_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+?)(?:--\s*(\S.*))?$"
+)
+
+#: Rules whose suppression directives must carry a ``-- <reason>``
+#: justification; without one the directive is ignored.
+JUSTIFIED_RULES = frozenset({"REP103"})
 
 #: Directories never linted (caches, VCS internals).
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
@@ -46,6 +62,9 @@ class FileContext:
         self.file_disabled: set[str] = set()
         #: Rule ids disabled per 1-based line number.
         self.line_disabled: dict[int, set[str]] = {}
+        #: Subset of the above whose directive carried a justification.
+        self.file_justified: set[str] = set()
+        self.line_justified: dict[int, set[str]] = {}
         self._scan_suppressions()
         #: Module-level ``NAME = "literal"`` string constants, used to
         #: resolve counter names passed via constants (REP001).
@@ -61,16 +80,34 @@ class FileContext:
                 for part in match.group(1).split(",")
                 if part.strip()
             }
+            justified = bool(match.group(2))
             if text.strip().startswith("#"):
                 self.file_disabled |= rules
+                if justified:
+                    self.file_justified |= rules
             else:
                 self.line_disabled.setdefault(lineno, set()).update(rules)
+                if justified:
+                    self.line_justified.setdefault(lineno, set()).update(rules)
 
-    def is_suppressed(self, rule: str, line: int) -> bool:
-        """Whether ``rule`` is disabled for a finding on ``line``."""
-        if "all" in self.file_disabled or rule in self.file_disabled:
+    def is_suppressed(
+        self, rule: str, line: int, require_justification: bool = False
+    ) -> bool:
+        """Whether ``rule`` is disabled for a finding on ``line``.
+
+        With ``require_justification`` (rules in
+        :data:`JUSTIFIED_RULES`), only directives that carried a
+        ``-- <reason>`` count; a bare directive is ignored so the
+        finding still fires.
+        """
+        disabled = (
+            self.file_justified if require_justification else self.file_disabled
+        )
+        if "all" in disabled or rule in disabled:
             return True
-        at_line = self.line_disabled.get(line, ())
+        at_line = (
+            self.line_justified if require_justification else self.line_disabled
+        ).get(line, ())
         return "all" in at_line or rule in at_line
 
 
@@ -122,6 +159,23 @@ class LintEngine:
                 continue
             yield path
 
+    def parse_project(self) -> AnalysisProject:
+        """Parse every file and return the whole-program graph bundle.
+
+        Used by ``repro lint --graph`` to export the import/call graphs
+        without running any rules; unparseable files are skipped (the
+        lint path reports them as REP000).
+        """
+        contexts: list[FileContext] = []
+        for path in self._iter_files():
+            rel = path.relative_to(self.root).as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                contexts.append(FileContext(path, rel, source))
+            except (SyntaxError, UnicodeDecodeError):
+                continue
+        return AnalysisProject(contexts, package=self.root.name)
+
     def run(
         self,
         baseline: dict[str, int] | str | Path | None = None,
@@ -138,6 +192,8 @@ class LintEngine:
         for rule in self.rules:
             rule.start()
 
+        # Phase 1: parse every file (cross-file rules need the whole
+        # tree before any finalize runs).
         contexts: list[FileContext] = []
         findings: list[Finding] = []
         suppressed = 0
@@ -145,7 +201,7 @@ class LintEngine:
             rel = path.relative_to(self.root).as_posix()
             try:
                 source = path.read_text(encoding="utf-8")
-                ctx = FileContext(path, rel, source)
+                contexts.append(FileContext(path, rel, source))
             except (SyntaxError, UnicodeDecodeError) as exc:
                 findings.append(
                     Finding(
@@ -159,25 +215,39 @@ class LintEngine:
                         hint="reprolint needs every file to parse",
                     )
                 )
-                continue
-            contexts.append(ctx)
-            for rule in self.rules:
-                for finding in rule.visit(ctx):
-                    if ctx.is_suppressed(finding.rule, finding.line):
-                        suppressed += 1
-                    else:
-                        findings.append(finding)
 
+        def _keep(ctx: FileContext | None, finding: Finding) -> bool:
+            nonlocal suppressed
+            if ctx is not None and ctx.is_suppressed(
+                finding.rule,
+                finding.line,
+                require_justification=finding.rule in JUSTIFIED_RULES,
+            ):
+                suppressed += 1
+                return False
+            return True
+
+        # Phase 2: per-file visits.
+        for ctx in contexts:
+            for rule in self.rules:
+                findings.extend(
+                    f for f in rule.visit(ctx) if _keep(ctx, f)
+                )
+
+        # Phase 3: hand the whole-program graphs to rules that want
+        # them, then finalize.
+        project = AnalysisProject(contexts, package=self.root.name)
+        for rule in self.rules:
+            set_project = getattr(rule, "set_project", None)
+            if set_project is not None:
+                set_project(project)
         by_rel = {ctx.rel: ctx for ctx in contexts}
         for rule in self.rules:
-            for finding in rule.finalize():
-                ctx = by_rel.get(finding.path)
-                if ctx is not None and ctx.is_suppressed(
-                    finding.rule, finding.line
-                ):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
+            findings.extend(
+                f
+                for f in rule.finalize()
+                if _keep(by_rel.get(f.path), f)
+            )
 
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         stale = apply_baseline(findings, baseline)

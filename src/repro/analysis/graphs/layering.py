@@ -1,0 +1,187 @@
+"""The declared architecture layering of :mod:`repro` (REP102's data).
+
+The contract is a rank table over module prefixes: an *eager* import is
+legal iff the imported module's rank is less than or equal to the
+importing module's rank (lower rank = deeper foundation).  Lazy imports
+(function-local, ``if TYPE_CHECKING:``, PEP 562 ``__getattr__``) are
+exempt -- they cannot create import-time cycles and are the sanctioned
+way to reach *up* the stack (e.g. ``runtime.runner`` lazily importing
+the solver registry).
+
+The ranks encode the DAG from the roadmap,
+``errors/obs -> network -> flow -> {baselines, core} -> runtime ->
+bench/cli``, refined to module granularity where one package straddles
+layers:
+
+* ``runtime.budget`` sits *below* ``network`` (hot kernels call
+  ``budget.checkpoint()`` eagerly), while the rest of ``runtime``
+  (options/runner/faults) sits above the solvers it orchestrates;
+* ``obs`` is foundational, except ``obs.profile`` which drives whole
+  solver runs and therefore ranks with the harness layers;
+* ``analysis`` (this linter) is rank-topmost as a *target* and, as a
+  *source*, may eagerly import *nothing but the standard library* and
+  its own subpackage -- it must stay runnable on a tree that does not
+  even import.
+
+Most-specific prefix wins: ``obs.profile`` matches before ``obs``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from repro.analysis.graphs.imports import ImportEdge, ImportGraph
+
+#: (module-name prefix, rank).  Matched most-specific-first; a module
+#: with no matching prefix gets :data:`DEFAULT_RANK`.
+LAYER_RANKS: tuple[tuple[str, int], ...] = (
+    ("errors", 0),
+    ("obs.profile", 7),
+    ("obs", 0),
+    ("runtime.budget", 1),
+    ("geometry", 1),
+    ("network", 2),
+    ("flow", 3),
+    ("runtime", 4),
+    ("core", 5),
+    ("baselines", 6),
+    ("datagen", 6),
+    ("io", 6),
+    ("", 8),  # the root package __init__ assembles everything
+    ("__main__", 9),
+    ("bench", 9),
+    ("cli", 9),
+    ("analysis", 9),
+)
+
+#: Rank of modules not matched by any prefix (top: may import anything).
+DEFAULT_RANK = 9
+
+#: Modules whose *source side* is restricted to stdlib + their own
+#: subpackage, regardless of rank.
+STDLIB_ONLY_PREFIXES: tuple[str, ...] = ("analysis",)
+
+
+def rank_of(module: str) -> int:
+    """Layer rank of a module name (most-specific prefix match)."""
+    best_len = -1
+    best_rank = DEFAULT_RANK
+    for prefix, rank in LAYER_RANKS:
+        if module == prefix or (prefix and module.startswith(prefix + ".")):
+            if len(prefix) > best_len:
+                best_len = len(prefix)
+                best_rank = rank
+    return best_rank
+
+
+def layer_table() -> list[tuple[str, int]]:
+    """The rank table sorted by rank then prefix (for docs/export)."""
+    return sorted(LAYER_RANKS, key=lambda item: (item[1], item[0]))
+
+
+def _stdlib_names() -> frozenset[str]:
+    return frozenset(sys.stdlib_module_names)
+
+
+@dataclass(frozen=True)
+class LayerViolation:
+    """One layering violation, with the offending import chain."""
+
+    #: ``"rank"`` (upward eager import), ``"stdlib"`` (analysis importing
+    #: a third-party or in-tree module), or ``"cycle"``.
+    kind: str
+    module: str
+    line: int
+    chain: tuple[str, ...]
+    message: str
+
+
+def check_layering(
+    graph: ImportGraph,
+    stdlib_extra: frozenset[str] = frozenset(),
+) -> list[LayerViolation]:
+    """All layering violations of an import graph.
+
+    ``stdlib_extra`` names additional modules the stdlib-only contract
+    tolerates (tests inject fakes through it).
+    """
+    violations: list[LayerViolation] = []
+    stdlib = _stdlib_names() | stdlib_extra
+
+    for edge in graph.edges:
+        if edge.src.startswith(STDLIB_ONLY_PREFIXES) and edge.eager:
+            violations.extend(_check_stdlib_only(edge, stdlib))
+        if edge.external or not edge.eager:
+            continue
+        src_rank = rank_of(edge.src)
+        dst_rank = rank_of(edge.dst)
+        if dst_rank > src_rank:
+            chain = (edge.src, edge.dst)
+            violations.append(
+                LayerViolation(
+                    kind="rank",
+                    module=edge.src,
+                    line=edge.line,
+                    chain=chain,
+                    message=(
+                        f"eager import chain {' -> '.join(chain)} climbs "
+                        f"from layer {src_rank} to layer {dst_rank}; "
+                        f"import lazily (inside the function or under "
+                        f"TYPE_CHECKING) or move the dependency down"
+                    ),
+                )
+            )
+
+    for cycle in graph.eager_cycles():
+        chain = (*cycle, cycle[0])
+        violations.append(
+            LayerViolation(
+                kind="cycle",
+                module=cycle[0],
+                line=_cycle_line(graph, cycle),
+                chain=chain,
+                message=(
+                    f"eager import cycle {' -> '.join(chain)}; break it "
+                    f"with a lazy (function-local) import"
+                ),
+            )
+        )
+    violations.sort(key=lambda v: (v.module, v.line, v.kind))
+    return violations
+
+
+def _check_stdlib_only(
+    edge: ImportEdge, stdlib: frozenset[str]
+) -> list[LayerViolation]:
+    """The analysis-side contract: eager imports are stdlib or own-tree."""
+    if edge.external:
+        top = edge.dst.split(".")[0]
+        if top in stdlib:
+            return []
+        what = f"third-party module {edge.dst!r}"
+    else:
+        if edge.dst.startswith(STDLIB_ONLY_PREFIXES):
+            return []
+        what = f"in-tree module {edge.dst!r}"
+    return [
+        LayerViolation(
+            kind="stdlib",
+            module=edge.src,
+            line=edge.line,
+            chain=(edge.src, edge.dst),
+            message=(
+                f"analysis module {edge.src} eagerly imports {what}; "
+                f"the linter must run from a pure stdlib environment -- "
+                f"import lazily or move the code out of analysis/"
+            ),
+        )
+    ]
+
+
+def _cycle_line(graph: ImportGraph, cycle: list[str]) -> int:
+    members = set(cycle)
+    for edge in graph.internal_edges(eager_only=True):
+        if edge.src == cycle[0] and edge.dst in members:
+            return edge.line
+    return 1

@@ -15,12 +15,14 @@ least one new finding (or stale baseline entries under ``--strict``),
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
 from repro.analysis.baseline import load_baseline, save_baseline
 from repro.analysis.engine import LintEngine, default_root
+from repro.analysis.reports import GRAPH_FORMATS, GRAPH_KINDS, render_graph
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -75,6 +77,28 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="also fail (exit 1) on stale baseline entries",
     )
+    parser.add_argument(
+        "--graph",
+        choices=GRAPH_KINDS,
+        default=None,
+        help="export a whole-program graph instead of linting "
+        "(imports: module import graph with layer ranks; calls: "
+        "interprocedural call graph)",
+    )
+    parser.add_argument(
+        "--graph-format",
+        choices=GRAPH_FORMATS,
+        default="json",
+        help="graph export format (json or GraphViz dot)",
+    )
+    parser.add_argument(
+        "--ratchet-check",
+        metavar="OLD_BASELINE",
+        default=None,
+        help="compare the current baseline against an older copy (e.g. "
+        "the merge base's) and fail if any key appeared or grew -- the "
+        "baseline may only shrink",
+    )
 
 
 def _default_baseline_path(root: Path) -> Path | None:
@@ -91,6 +115,29 @@ def _default_baseline_path(root: Path) -> Path | None:
     return None
 
 
+def ratchet_check(
+    old_path: str | Path, new_path: str | Path
+) -> list[str]:
+    """Keys where ``new_path``'s baseline grew relative to ``old_path``.
+
+    The ratchet contract: a baseline entry may disappear or shrink, never
+    appear or grow.  Returns human-readable violation lines (empty when
+    the ratchet holds).  A missing *new* file counts as an empty baseline
+    (fully shrunk); a missing *old* file means everything new is growth.
+    """
+    old = load_baseline(old_path) if Path(old_path).exists() else {}
+    new = load_baseline(new_path) if Path(new_path).exists() else {}
+    violations: list[str] = []
+    for key in sorted(new):
+        before = old.get(key, 0)
+        if new[key] > before:
+            violations.append(
+                f"{key}: {before} -> {new[key]}"
+                + ("" if before else " (new baseline entry)")
+            )
+    return violations
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed arguments."""
     from repro.analysis.rules import default_rules
@@ -104,6 +151,39 @@ def run_from_args(args: argparse.Namespace) -> int:
     if not root.is_dir():
         print(f"reprolint: not a directory: {root}", file=sys.stderr)
         return 2
+
+    if args.graph:
+        project = LintEngine(root, rules=[]).parse_project()
+        report = render_graph(project, args.graph, args.graph_format)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report + "\n")
+            print(f"reprolint: wrote {args.output}")
+        else:
+            print(report)
+        return 0
+
+    if args.ratchet_check:
+        current = (
+            Path(args.baseline)
+            if args.baseline
+            else _default_baseline_path(root)
+        )
+        if current is None:
+            # No baseline file at all -- trivially fully shrunk.
+            print("reprolint ratchet: no current baseline (ok)")
+            return 0
+        violations = ratchet_check(args.ratchet_check, current)
+        if violations:
+            print(
+                "reprolint ratchet: baseline grew (it may only shrink):",
+                file=sys.stderr,
+            )
+            for line in violations:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("reprolint ratchet: baseline did not grow (ok)")
+        return 0
 
     rules = default_rules()
     if args.rules:
@@ -164,4 +244,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         description="repo-specific static analysis (reprolint)",
     )
     add_lint_arguments(parser)
-    return run_from_args(parser.parse_args(argv))
+    try:
+        return run_from_args(parser.parse_args(argv))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. ``--graph ... | head``).
+        # Detach stdout so the interpreter's shutdown flush does not raise too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0

@@ -1,194 +1,88 @@
-"""Solution statistics, solver comparisons, and convergence reports.
+"""Report rendering for the whole-program graphs (``repro lint --graph``).
 
-These helpers answer the operational questions a deployment of MCFS
-raises beyond the raw objective: how far do customers actually travel,
-how evenly are facilities loaded, how close to capacity does the system
-run, and how did WMA's exploration converge.
+This module turns an :class:`~repro.analysis.graphs.AnalysisProject`
+into machine-readable (JSON) or GraphViz (DOT) exports of the import
+graph and the call graph, plus the layering table the docs render.
+
+Historical note: the *solution* statistics and robustness reports that
+used to live here moved to :mod:`repro.bench.solution_stats` and
+:mod:`repro.bench.robustness` when ``analysis/`` adopted its
+stdlib-only layering contract (REP102); the old names keep importing
+from here through the lazy forwards at the bottom of the module.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from collections.abc import Sequence
-from dataclasses import dataclass
-from typing import Any
+import json
 
-import numpy as np
+from repro.analysis.graphs import AnalysisProject, layer_table, rank_of
 
-from repro.core.instance import MCFSInstance
-from repro.core.solution import MCFSSolution
-from repro.core.wma import WMATrace
-from repro.network.dijkstra import shortest_path_lengths
+#: Graph selectors accepted by ``repro lint --graph``.
+GRAPH_KINDS = ("imports", "calls")
+
+#: Formats accepted by ``repro lint --graph-format``.
+GRAPH_FORMATS = ("json", "dot")
 
 
-@dataclass(frozen=True)
-class SolutionStats:
-    """Distance and load statistics of one solution.
+def render_graph(
+    project: AnalysisProject, which: str, fmt: str = "json"
+) -> str:
+    """Render one program graph as a string.
 
-    Distances are per customer (to its assigned facility); utilization is
-    per opened facility (served / capacity).
+    ``which`` selects ``"imports"`` or ``"calls"``; ``fmt`` selects
+    ``"json"`` (node/edge dict, schema-stable) or ``"dot"`` (GraphViz).
     """
-
-    objective: float
-    mean_distance: float
-    median_distance: float
-    p95_distance: float
-    max_distance: float
-    facilities_open: int
-    facilities_used: int
-    mean_utilization: float
-    max_utilization: float
-    gini_load: float
-
-    def as_row(self) -> dict[str, float]:
-        """Flat dict for table output."""
-        return {
-            "objective": round(self.objective, 1),
-            "mean_dist": round(self.mean_distance, 1),
-            "median_dist": round(self.median_distance, 1),
-            "p95_dist": round(self.p95_distance, 1),
-            "max_dist": round(self.max_distance, 1),
-            "open": self.facilities_open,
-            "used": self.facilities_used,
-            "mean_util": round(self.mean_utilization, 3),
-            "max_util": round(self.max_utilization, 3),
-            "gini_load": round(self.gini_load, 3),
-        }
-
-
-def _customer_distances(
-    instance: MCFSInstance, solution: MCFSSolution
-) -> np.ndarray:
-    """Per-customer distance to its assigned facility.
-
-    Measured customer-to-facility; on directed networks the search runs
-    per distinct customer node, matching the matcher's direction.
-    """
-    distances = np.zeros(instance.m)
-    if instance.network.directed:
-        by_node: dict[int, list[int]] = defaultdict(list)
-        for i, node in enumerate(instance.customers):
-            by_node[node].append(i)
-        for node, members in by_node.items():
-            targets = {
-                instance.facility_nodes[solution.assignment[i]]
-                for i in members
-            }
-            result = shortest_path_lengths(
-                instance.network, node, targets=targets
-            )
-            for i in members:
-                f_node = instance.facility_nodes[solution.assignment[i]]
-                distances[i] = result.dist[f_node]
-        return distances
-
-    by_facility: dict[int, list[int]] = defaultdict(list)
-    for i, j in enumerate(solution.assignment):
-        by_facility[j].append(i)
-    for j, members in by_facility.items():
-        result = shortest_path_lengths(
-            instance.network,
-            instance.facility_nodes[j],
-            targets={instance.customers[i] for i in members},
+    if which not in GRAPH_KINDS:
+        raise ValueError(
+            f"unknown graph {which!r}; choose from {GRAPH_KINDS}"
         )
-        for i in members:
-            distances[i] = result.dist[instance.customers[i]]
-    return distances
+    if fmt not in GRAPH_FORMATS:
+        raise ValueError(
+            f"unknown graph format {fmt!r}; choose from {GRAPH_FORMATS}"
+        )
+    if which == "imports":
+        graph = project.imports
+        if fmt == "dot":
+            return graph.to_dot()
+        payload = graph.as_dict()
+        payload["layers"] = {
+            module: rank_of(module) for module in sorted(graph.modules)
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    calls = project.calls
+    if fmt == "dot":
+        return calls.to_dot()
+    return json.dumps(calls.as_dict(), indent=2, sort_keys=True)
 
 
-def _gini(values: np.ndarray) -> float:
-    """Gini coefficient of a non-negative sample (0 = perfectly even)."""
-    if len(values) == 0:
-        return 0.0
-    sorted_vals = np.sort(np.asarray(values, dtype=np.float64))
-    total = sorted_vals.sum()
-    if total <= 0:
-        return 0.0
-    n = len(sorted_vals)
-    ranks = np.arange(1, n + 1)
-    return float((2 * (ranks * sorted_vals).sum()) / (n * total) - (n + 1) / n)
+def render_layer_table() -> str:
+    """The declared layering as an aligned text table (docs helper)."""
+    rows = [("rank", "module prefix")] + [
+        (str(rank), prefix or "<root __init__>")
+        for prefix, rank in layer_table()
+    ]
+    width = max(len(r[0]) for r in rows)
+    return "\n".join(f"{r[0]:>{width}}  {r[1]}" for r in rows)
 
 
-def solution_stats(
-    instance: MCFSInstance, solution: MCFSSolution
-) -> SolutionStats:
-    """Compute distance and load statistics for a solution."""
-    distances = _customer_distances(instance, solution)
-    loads = solution.load_per_facility()
-    utilizations = np.array(
-        [loads[j] / instance.capacities[j] for j in solution.selected]
+# ----------------------------------------------------------------------
+# Lazy forwards for the relocated solution-analysis API
+# ----------------------------------------------------------------------
+#: Names forwarded to :mod:`repro.bench.solution_stats` (PEP 562).
+_SOLUTION_EXPORTS = (
+    "SolutionStats",
+    "solution_stats",
+    "compare_solutions",
+    "convergence_report",
+    "_gini",
+)
+
+
+def __getattr__(name: str) -> object:
+    if name in _SOLUTION_EXPORTS:
+        from repro.bench import solution_stats
+
+        return getattr(solution_stats, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
     )
-    load_values = np.array([loads[j] for j in solution.selected])
-    return SolutionStats(
-        objective=float(distances.sum()),
-        mean_distance=float(distances.mean()),
-        median_distance=float(np.median(distances)),
-        p95_distance=float(np.percentile(distances, 95)),
-        max_distance=float(distances.max()),
-        facilities_open=len(solution.selected),
-        facilities_used=int((load_values > 0).sum()),
-        mean_utilization=float(utilizations.mean()) if len(utilizations) else 0.0,
-        max_utilization=float(utilizations.max()) if len(utilizations) else 0.0,
-        gini_load=_gini(load_values),
-    )
-
-
-def compare_solutions(
-    instance: MCFSInstance,
-    solutions: Sequence[MCFSSolution],
-) -> list[dict[str, Any]]:
-    """Side-by-side comparison rows for several solutions.
-
-    Adds a ``vs_best`` column: each solution's objective relative to the
-    best one in the group.
-    """
-    rows = []
-    for solution in solutions:
-        stats = solution_stats(instance, solution)
-        row: dict[str, Any] = {"algorithm": solution.algorithm}
-        row.update(stats.as_row())
-        row["runtime_s"] = round(solution.runtime_sec, 4)
-        rows.append(row)
-    best = min(row["objective"] for row in rows)
-    for row in rows:
-        row["vs_best"] = round(row["objective"] / best, 3) if best > 0 else 1.0
-    return rows
-
-
-def convergence_report(trace: WMATrace, m: int) -> dict[str, Any]:
-    """Summarize a WMA run's convergence behaviour (Figure 12b style).
-
-    Reports how many iterations reached 50 / 90 / 100 % coverage, the
-    matching-vs-cover time split, and the edge-materialization ratio
-    relative to a full bipartite graph of the given size.
-    """
-    if trace.iterations == 0:
-        raise ValueError("trace is empty")
-
-    def iterations_to(fraction: float) -> int | None:
-        threshold = fraction * m
-        for t, covered in enumerate(trace.covered):
-            if covered >= threshold:
-                return t + 1
-        return None
-
-    total_matching = sum(trace.matching_time)
-    total_cover = sum(trace.cover_time)
-    total = total_matching + total_cover
-    return {
-        "iterations": trace.iterations,
-        "iters_to_50pct": iterations_to(0.5),
-        "iters_to_90pct": iterations_to(0.9),
-        "iters_to_full": iterations_to(1.0),
-        "final_covered": trace.covered[-1],
-        "matching_time_share": (
-            round(total_matching / total, 3) if total > 0 else 0.0
-        ),
-        "cover_time_share": round(total_cover / total, 3) if total > 0 else 0.0,
-        "edges_final": trace.edges_materialized[-1],
-        "first_iteration_matching_share": (
-            round(trace.matching_time[0] / total_matching, 3)
-            if total_matching > 0
-            else 0.0
-        ),
-    }

@@ -1,24 +1,36 @@
-"""The repo-specific reprolint rules (REP001..REP006).
+"""The repo-specific reprolint rules (REP001..REP006, REP101..REP104).
 
 Each rule encodes a real contract of this codebase that no generic
 linter knows about -- the observability name registry, the
 ``solver_api``/``SOLVERS`` registration protocol, clock and RNG
-discipline, and budget checkpoints in hot loops.  Rules are pluggable:
-subclass :class:`Rule`, give it an id/severity/hint, and add it to
-:func:`default_rules`.
+discipline, budget-checkpoint reachability, the architecture layering,
+shared-state safety under process fan-out, and dead-export hygiene.
+Rules are pluggable: subclass :class:`Rule`, give it an id/severity/
+hint, and add it to :func:`default_rules`.
 
 Per-file state arrives through
 :class:`~repro.analysis.engine.FileContext`; cross-file rules accumulate
-during :meth:`Rule.visit` and reconcile in :meth:`Rule.finalize`.
+during :meth:`Rule.visit`, receive the whole-program graphs
+(:class:`~repro.analysis.graphs.AnalysisProject`) through
+:meth:`Rule.set_project`, and reconcile in :meth:`Rule.finalize`.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from collections.abc import Iterable, Iterator
+from pathlib import Path
 
 from repro.analysis.engine import FileContext
 from repro.analysis.findings import Finding
+from repro.analysis.graphs import (
+    AnalysisProject,
+    CallGraph,
+    FunctionInfo,
+    check_layering,
+    module_name,
+)
 
 __all__ = ["Rule", "default_rules", "RULES"]
 
@@ -38,6 +50,10 @@ class Rule:
 
     def start(self) -> None:
         """Reset cross-file state; called once per engine run."""
+
+    def set_project(self, project: AnalysisProject) -> None:
+        """Receive the whole-program graphs (before :meth:`finalize`)."""
+        self.project = project
 
     def visit(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one parsed file."""
@@ -108,12 +124,16 @@ def _str_value(node: ast.expr, ctx: FileContext) -> str | None:
     return None
 
 
-def _iter_functions(
-    tree: ast.Module,
-) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, tuple]]:
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+_FuncItem = tuple[_FuncDef, str, tuple[_FuncDef, ...]]
+
+
+def _iter_functions(tree: ast.Module) -> Iterator[_FuncItem]:
     """Yield ``(def_node, qualname, enclosing_def_chain)`` for every function."""
 
-    def walk(node: ast.AST, prefix: str, chain: tuple) -> Iterator:
+    def walk(
+        node: ast.AST, prefix: str, chain: tuple[_FuncDef, ...]
+    ) -> Iterator[_FuncItem]:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 qual = f"{prefix}{child.name}"
@@ -486,56 +506,94 @@ class SeededRandomnessRule(Rule):
 
 
 # ----------------------------------------------------------------------
-# REP005 -- hot loops must checkpoint the budget
+# REP101 -- hot loops must *reach* a budget checkpoint (interprocedural)
 # ----------------------------------------------------------------------
-class BudgetCheckpointRule(Rule):
-    """Instance-sized loops in hot-path modules must hit ``checkpoint()``.
+class BudgetReachabilityRule(Rule):
+    """Instance-sized loops in hot-path modules must reach ``checkpoint()``.
 
     The deadline runtime (PR 3) is cooperative: a hot loop that never
-    calls :func:`repro.runtime.budget.checkpoint` cannot be interrupted,
-    so one such loop defeats every ``--deadline`` above it.  The rule
-    flags functions in the hot-path modules (``network/``, ``flow/``,
-    ``core/wma.py``) that run data-dependent loops (``while``, or
-    ``for`` over anything but a literal/constant-range iterable) without
-    a checkpoint in their own or an enclosing scope.  Heuristic by
-    nature, hence a *warning*: suppress deliberately cold or
-    caller-checkpointed functions with ``# reprolint: disable=REP005``.
+    reaches :func:`repro.runtime.budget.checkpoint` cannot be
+    interrupted, so one such loop defeats every ``--deadline`` above it.
+    The rule flags functions in the hot-path modules (``network/``,
+    ``flow/``, ``core/wma.py``) that run data-dependent loops
+    (``while``, or ``for`` over anything but a literal/constant-range
+    iterable) with no checkpoint on any path.  A function is compliant
+    if
+
+    * it (or an enclosing def) calls ``*checkpoint*``/``tick``
+      lexically -- the legacy REP005 scope check; or
+    * any call in its body resolves, via the whole-program call graph,
+      to a function that transitively reaches a checkpoint
+      (``ws.run()`` checkpoints, so ``many_source_lengths`` and
+      ``distance_matrix`` are clean without a local call).
+
+    That reachability check is what retired lexical REP005's
+    caller-checkpointed false positives and promoted the rule from
+    warning to **error**.  Construction-time loops that genuinely run
+    before any budget exists still need an explicit
+    ``# reprolint: disable=REP101`` with a rationale comment.
     """
 
-    id = "REP005"
-    severity = "warning"
-    title = "hot loop without budget checkpoint"
+    id = "REP101"
+    severity = "error"
+    title = "hot loop cannot reach a budget checkpoint"
     hint = (
         "call repro.runtime.budget.checkpoint() in the loop (cheap no-op "
-        "without an active budget), or suppress with "
-        "'# reprolint: disable=REP005' if the loop is construction-time "
-        "or its caller checkpoints"
+        "without an active budget) or call through a checkpointing "
+        "kernel; suppress with '# reprolint: disable=REP101' only for "
+        "construction-time loops"
     )
 
     HOT_PREFIXES = ("network/", "flow/")
     HOT_FILES = {"core/wma.py"}
     _BOUNDED_CALLS = {"range", "enumerate", "zip", "reversed"}
 
+    def start(self) -> None:
+        # (rel, module.qual node id, qual, def line, def col, loop line)
+        self._candidates: list[tuple[str, str, str, int, int, int]] = []
+
     def visit(self, ctx: FileContext) -> Iterator[Finding]:
         if not (
             ctx.rel.startswith(self.HOT_PREFIXES) or ctx.rel in self.HOT_FILES
         ):
-            return
+            return iter(())
+        module = module_name(ctx.rel)
         for func, qual, chain in _iter_functions(ctx.tree):
             if self._checkpoints(func) or any(
                 self._checkpoints(outer, shallow=True) for outer in chain
             ):
                 continue
-            loop_line = self._first_hot_loop(func)
-            if loop_line is not None:
-                yield self.finding(
-                    ctx,
-                    func.lineno,
-                    func.col_offset,
-                    qual,
-                    f"{qual}() runs an instance-sized loop (line "
-                    f"{loop_line}) without a budget checkpoint",
+            loop = self._first_hot_loop(func)
+            if loop is not None:
+                node_id = f"{module}.{qual}" if module else qual
+                self._candidates.append(
+                    (
+                        ctx.rel,
+                        node_id,
+                        qual,
+                        func.lineno,
+                        func.col_offset,
+                        loop.lineno,
+                    )
                 )
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        calls = self.project.calls
+        reaching = calls.checkpoint_reaching()
+        out = calls.out_edges()
+        for rel, node_id, qual, line, col, loop_line in self._candidates:
+            if any(callee in reaching for callee in out.get(node_id, ())):
+                continue
+            yield self.finding(
+                rel,
+                line,
+                col,
+                qual,
+                f"{qual}() runs an instance-sized loop (line {loop_line}) "
+                f"and no call path from the function reaches a budget "
+                f"checkpoint",
+            )
 
     @classmethod
     def _checkpoints(
@@ -556,12 +614,12 @@ class BudgetCheckpointRule(Rule):
     @classmethod
     def _first_hot_loop(
         cls, func: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> int | None:
+    ) -> ast.While | ast.For | None:
         for node in _owned_nodes(func):
             if isinstance(node, ast.While):
-                return node.lineno
+                return node
             if isinstance(node, ast.For) and cls._data_dependent(node.iter):
-                return node.lineno
+                return node
         return None
 
     @classmethod
@@ -642,14 +700,335 @@ class MutableDefaultAndBareExceptRule(Rule):
         )
 
 
+# ----------------------------------------------------------------------
+# REP102 -- the declared architecture layering holds
+# ----------------------------------------------------------------------
+class LayeringRule(Rule):
+    """Eager imports must respect the declared layer DAG.
+
+    The contract (rank table in :mod:`repro.analysis.graphs.layering`)
+    is the roadmap's ``errors/obs -> network -> flow -> {baselines,
+    core} -> runtime -> bench/cli`` DAG at module granularity: an eager
+    (module-top-level) import may only reach *down* the stack.  Lazy
+    imports (function-local, ``TYPE_CHECKING``, PEP 562 ``__getattr__``)
+    are exempt -- they are the sanctioned way to reach up.  The rule
+    also flags eager import *cycles*, and holds ``analysis/`` to its
+    stdlib-only contract so the linter runs on a tree that cannot even
+    import.  Violations name the offending import chain.
+    """
+
+    id = "REP102"
+    severity = "error"
+    title = "architecture layering violation"
+    hint = (
+        "import lazily (inside the function that needs it, or under "
+        "TYPE_CHECKING) or move the dependency into a lower layer; the "
+        "rank table lives in repro/analysis/graphs/layering.py"
+    )
+
+    def finalize(self) -> Iterator[Finding]:
+        graph = self.project.imports
+        for violation in check_layering(graph):
+            rel = self.project.rel_of_module(violation.module)
+            if not rel:
+                continue
+            yield self.finding(
+                rel,
+                violation.line,
+                0,
+                "->".join(violation.chain),
+                violation.message,
+            )
+
+
+# ----------------------------------------------------------------------
+# REP103 -- no shared-state mutation on parallel/cache read paths
+# ----------------------------------------------------------------------
+class SharedStateSafetyRule(Rule):
+    """Worker/cache read paths must not mutate ``Network`` state.
+
+    The process-parallel distance engine (PR 2) forks workers that
+    share a ``Network`` via copy-on-write and shared-memory CSR blocks,
+    and the distance cache keys on ``Network.fingerprint`` -- a read
+    path that mutates the network (even a memo write) corrupts results
+    silently or defeats fork-time page sharing.  The rule statically
+    discovers worker entry points (functions passed as ``initializer=``
+    or ``target=`` keywords, or as the first argument of a
+    ``.map``/``.imap``/``.starmap``-style method call) plus the
+    distance-cache read path, walks everything reachable in the call
+    graph (including property getters), and reports every *direct*
+    mutation effect whose root is typed ``Network``.
+
+    Suppressions for this rule **require a justification**::
+
+        # reprolint: disable=REP103 -- memo is materialized pre-fork
+
+    A bare ``disable=REP103`` is deliberately ignored by the engine.
+    """
+
+    id = "REP103"
+    severity = "error"
+    title = "shared-state mutation on a parallel/cache read path"
+    hint = (
+        "make the write happen before the pool forks (see "
+        "Network.materialize_caches) or move it off the read path; "
+        "suppress only with a justification: "
+        "'# reprolint: disable=REP103 -- <reason>'"
+    )
+
+    #: Class names whose instances are shared across workers/cache keys.
+    PROTECTED_TYPES = ("Network",)
+    #: Method names whose first positional argument is a worker function.
+    _MAP_METHODS = frozenset(
+        {"map", "imap", "imap_unordered", "map_async", "starmap"}
+    )
+    #: Keyword arguments that carry a worker entry point.
+    _ENTRY_KWARGS = frozenset({"initializer", "target"})
+    #: Repo-specific read paths that behave like worker entries.
+    EXTRA_ENTRY_NODES = ("network.distcache.DistanceCache.lengths",)
+    #: Constructor-style methods: their ``self`` is the object being
+    #: built, which no other process can see yet.
+    _FRESH_OBJECT_METHODS = frozenset(
+        {"__init__", "__new__", "__post_init__", "__setstate__"}
+    )
+
+    def start(self) -> None:
+        # (module, function name referenced at a fan-out site)
+        self._entry_refs: list[tuple[str, str]] = []
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        module = module_name(ctx.rel)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in self._ENTRY_KWARGS and isinstance(
+                    keyword.value, ast.Name
+                ):
+                    self._entry_refs.append((module, keyword.value.id))
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._MAP_METHODS
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                self._entry_refs.append((module, node.args[0].id))
+        return iter(())
+
+    def _entry_nodes(self) -> list[str]:
+        calls = self.project.calls
+        entries: set[str] = set()
+        for module, name in self._entry_refs:
+            node_id = calls.lookup_function(module, name)
+            if node_id is not None:
+                entries.add(node_id)
+        for node_id in self.EXTRA_ENTRY_NODES:
+            if node_id in calls.functions:
+                entries.add(node_id)
+        return sorted(entries)
+
+    def finalize(self) -> Iterator[Finding]:
+        calls = self.project.calls
+        effects = self.project.effects
+        entries = self._entry_nodes()
+        if not entries:
+            return
+        reachable = calls.reachable_from(entries)
+        reported: set[tuple[str, int, str]] = set()
+        for node_id in sorted(reachable):
+            info = calls.functions.get(node_id)
+            if info is None:
+                continue
+            fresh_self = (
+                info.qualname.rsplit(".", 1)[-1] in self._FRESH_OBJECT_METHODS
+            )
+            for effect in effects.mutations(node_id, direct_only=True):
+                if fresh_self and effect.root == "self":
+                    continue
+                if not self._protected_root(info, effect.root):
+                    continue
+                rel = self.project.rel_of_module(info.module)
+                key = (rel, effect.line, effect.detail)
+                if not rel or key in reported:
+                    continue
+                reported.add(key)
+                entry = self._nearest_entry(calls, entries, node_id)
+                chain = calls.path_between(entry, node_id)
+                yield self.finding(
+                    rel,
+                    effect.line,
+                    0,
+                    info.qualname,
+                    f"{info.qualname}() mutates shared Network state "
+                    f"({effect.kind} on {effect.root}"
+                    f"{'.' + effect.detail if effect.detail else ''}) but "
+                    f"is reachable from the parallel/cache read path "
+                    f"{' -> '.join(chain) if chain else entry}",
+                )
+
+    def _protected_root(self, info: FunctionInfo, root: str) -> bool:
+        if root == "self":
+            simple = info.class_key.rsplit(".", 1)[-1]
+            return simple in self.PROTECTED_TYPES
+        if root.startswith("param:"):
+            key = info.param_types.get(root[len("param:"):], "")
+            return key.rsplit(".", 1)[-1] in self.PROTECTED_TYPES
+        return False
+
+    @staticmethod
+    def _nearest_entry(
+        calls: CallGraph, entries: list[str], node_id: str
+    ) -> str:
+        best = entries[0]
+        best_len = 0
+        for entry in entries:
+            path = calls.path_between(entry, node_id)
+            if path and (best_len == 0 or len(path) < best_len):
+                best, best_len = entry, len(path)
+        return best
+
+
+# ----------------------------------------------------------------------
+# REP104 -- no dead public exports
+# ----------------------------------------------------------------------
+class DeadExportRule(Rule):
+    """Module-level public defs must be referenced from somewhere.
+
+    A public function or class that no code, test, example, benchmark,
+    ``__all__`` list, or registry string mentions is dead API surface:
+    it rots unreviewed and widens the maintenance contract for nothing.
+    The rule scans every identifier occurrence (names, attributes,
+    string constants, import aliases) across the linted tree *and* the
+    repo's usage roots (``tests/``, ``examples/``, ``benchmarks/``,
+    located via the nearest ``pyproject.toml``), and flags module-level
+    public ``def``/``class`` symbols whose name appears nowhere outside
+    their definition.  Modules that nobody imports are exempt (they are
+    roots of their own, e.g. scripts), as are dunder names and
+    ``main``-style CLI entry points referenced from packaging metadata.
+    """
+
+    id = "REP104"
+    severity = "error"
+    title = "dead public export"
+    hint = (
+        "delete the symbol, make it private (_name), or wire it into "
+        "the API surface (__all__, SOLVERS, CLI, tests)"
+    )
+
+    #: Names referenced from outside Python source (pyproject entry
+    #: points, docs); never flagged.
+    EXEMPT_NAMES = frozenset({"main"})
+    _USAGE_DIRS = ("tests", "examples", "benchmarks")
+    _WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+    def start(self) -> None:
+        # (module, rel, name, line, col)
+        self._defs: list[tuple[str, str, str, int, int]] = []
+        self._used: set[str] = set()
+        self._root: Path | None = None
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if self._root is None:
+            depth = ctx.rel.count("/")
+            self._root = ctx.path.parents[depth]
+        module = module_name(ctx.rel)
+        for node in ctx.tree.body:
+            self._collect_defs(module, ctx.rel, node)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                self._used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                self._used.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                if self._WORD_RE.fullmatch(node.value):
+                    self._used.add(node.value)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    self._used.add(alias.name.split(".")[-1])
+                    if alias.asname:
+                        self._used.add(alias.asname)
+        return iter(())
+
+    def _collect_defs(self, module: str, rel: str, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            name = node.name
+            if not name.startswith("_") and name not in self.EXEMPT_NAMES:
+                self._defs.append(
+                    (module, rel, name, node.lineno, node.col_offset)
+                )
+        elif isinstance(node, (ast.If, ast.Try)):
+            sub: list[ast.stmt] = list(node.body)
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    sub.extend(handler.body)
+                sub.extend(node.finalbody)
+            sub.extend(node.orelse)
+            for child in sub:
+                self._collect_defs(module, rel, child)
+
+    def _external_usage(self) -> set[str]:
+        used: set[str] = set()
+        if self._root is None:
+            return used
+        repo = None
+        probe = self._root
+        for _ in range(4):
+            if (probe / "pyproject.toml").is_file():
+                repo = probe
+                break
+            if probe.parent == probe:
+                break
+            probe = probe.parent
+        if repo is None:
+            return used
+        for dirname in self._USAGE_DIRS:
+            base = repo / dirname
+            if not base.is_dir():
+                continue
+            for path in base.rglob("*.py"):
+                try:
+                    text = path.read_text(encoding="utf-8")
+                except (OSError, UnicodeDecodeError):
+                    continue
+                used.update(self._WORD_RE.findall(text))
+        return used
+
+    def finalize(self) -> Iterator[Finding]:
+        imports = self.project.imports
+        imported_modules = {
+            edge.dst for edge in imports.internal_edges()
+        }
+        used = self._used | self._external_usage()
+        for module, rel, name, line, col in sorted(self._defs):
+            if module and module not in imported_modules:
+                continue  # nobody imports the module; it is its own root
+            if name in used:
+                continue
+            yield self.finding(
+                rel,
+                line,
+                col,
+                name,
+                f"public symbol {name!r} is referenced nowhere -- not in "
+                f"the tree, __all__, registries, tests, examples, or "
+                f"benchmarks",
+            )
+
+
 #: Rule registry in id order; ``repro lint --list-rules`` prints this.
 RULES: tuple[type[Rule], ...] = (
     ObsNameRegistryRule,
     SolverRegistrationRule,
     WallClockOwnershipRule,
     SeededRandomnessRule,
-    BudgetCheckpointRule,
     MutableDefaultAndBareExceptRule,
+    BudgetReachabilityRule,
+    LayeringRule,
+    SharedStateSafetyRule,
+    DeadExportRule,
 )
 
 

@@ -14,6 +14,12 @@ from repro.bench.parallel import parallel_rows
 from repro.bench.reporting import format_series, format_table, mean_rows, sparkline
 from repro.bench.sweeps import aggregate, seeded_sweep
 
+# NOTE: repro.bench.solution_stats and repro.bench.robustness are *not*
+# imported eagerly here -- the function ``solution_stats`` would shadow
+# its own module name in this namespace.  Import them as modules
+# (``from repro.bench import solution_stats``) or use the lazy forwards
+# on ``repro.analysis``.
+
 __all__ = [
     "BenchRow",
     "run_solvers",

@@ -1,0 +1,145 @@
+"""Robustness of a facility selection under demand drift.
+
+The paper motivates MCFS with periodic re-solving "depending on which
+customers declare interest".  Between re-solves, the *selection* stays
+fixed while the customer population drifts; these helpers quantify how
+well a selection holds up:
+
+* :func:`reassignment_cost` -- optimal assignment cost of a *new*
+  customer population onto a fixed selection;
+* :func:`selection_regret` -- that cost relative to re-running the solver
+  from scratch on the new population (the price of not re-selecting);
+* :func:`drift_study` -- regret as a function of drift magnitude, where a
+  fraction of customers is resampled.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import MCFSInstance
+from repro.core.solution import MCFSSolution
+from repro.errors import MatchingError
+from repro.flow.sspa import assign_all
+
+
+def reassignment_cost(
+    instance: MCFSInstance,
+    selected: Sequence[int],
+    new_customers: Sequence[int],
+) -> float:
+    """Optimal cost of serving ``new_customers`` from a fixed selection.
+
+    Raises :class:`MatchingError` when the selection cannot absorb the
+    new population (capacity or reachability) -- the hard signal that
+    re-selection is due.
+    """
+    sub_nodes = [instance.facility_nodes[j] for j in selected]
+    sub_caps = [instance.capacities[j] for j in selected]
+    return assign_all(
+        instance.network, list(new_customers), sub_nodes, sub_caps
+    ).cost
+
+
+def selection_regret(
+    instance: MCFSInstance,
+    selected: Sequence[int],
+    new_customers: Sequence[int],
+    *,
+    solver: Callable[[MCFSInstance], MCFSSolution] | None = None,
+) -> float:
+    """Relative extra cost of keeping ``selected`` vs re-solving.
+
+    Returns ``stale_cost / fresh_cost - 1`` (0 = the old selection is
+    still as good as a fresh one).  ``solver`` defaults to WMA.
+    """
+    from repro.core.wma import solve_wma
+
+    solver = solver or solve_wma
+    stale = reassignment_cost(instance, selected, new_customers)
+    fresh_instance = MCFSInstance(
+        network=instance.network,
+        customers=tuple(int(c) for c in new_customers),
+        facility_nodes=instance.facility_nodes,
+        capacities=instance.capacities,
+        k=instance.k,
+        name=f"{instance.name}|drifted",
+    )
+    fresh = solver(fresh_instance)
+    if fresh.objective <= 0:
+        return 0.0 if stale <= 0 else float("inf")
+    return stale / fresh.objective - 1.0
+
+
+@dataclass
+class DriftPoint:
+    """One point of a drift study."""
+
+    drift_fraction: float
+    stale_cost: float | None
+    fresh_cost: float | None
+    regret: float | None
+
+
+def drift_study(
+    instance: MCFSInstance,
+    solution: MCFSSolution,
+    *,
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+    seed: int = 0,
+    solver: Callable[[MCFSInstance], MCFSSolution] | None = None,
+) -> list[DriftPoint]:
+    """Regret of a solution's selection as customers drift.
+
+    For each fraction ``f``, resamples ``f`` of the customers uniformly
+    at random (keeping the rest), then compares the fixed selection's
+    optimal reassignment cost against a fresh solve.  Points where the
+    stale selection becomes infeasible report ``stale_cost=None``.
+    """
+    from repro.core.wma import solve_wma
+
+    solver = solver or solve_wma
+    rng = np.random.default_rng(seed)
+    points: list[DriftPoint] = []
+    base = list(instance.customers)
+    n = instance.network.n_nodes
+
+    for fraction in fractions:
+        drifted = list(base)
+        n_moved = int(round(fraction * len(base)))
+        for idx in rng.choice(len(base), size=n_moved, replace=False):
+            drifted[int(idx)] = int(rng.integers(n))
+
+        try:
+            stale = reassignment_cost(instance, solution.selected, drifted)
+        except MatchingError:
+            stale = None
+
+        fresh_instance = MCFSInstance(
+            network=instance.network,
+            customers=tuple(drifted),
+            facility_nodes=instance.facility_nodes,
+            capacities=instance.capacities,
+            k=instance.k,
+            name=f"{instance.name}|drift{fraction}",
+        )
+        try:
+            fresh = solver(fresh_instance).objective
+        except Exception:
+            fresh = None
+
+        regret = None
+        if stale is not None and fresh is not None and fresh > 0:
+            regret = stale / fresh - 1.0
+        points.append(
+            DriftPoint(
+                drift_fraction=fraction,
+                stale_cost=stale,
+                fresh_cost=fresh,
+                regret=regret,
+            )
+        )
+    return points

@@ -1,0 +1,194 @@
+"""Solution statistics, solver comparisons, and convergence reports.
+
+These helpers answer the operational questions a deployment of MCFS
+raises beyond the raw objective: how far do customers actually travel,
+how evenly are facilities loaded, how close to capacity does the system
+run, and how did WMA's exploration converge.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.instance import MCFSInstance
+from repro.core.solution import MCFSSolution
+from repro.core.wma import WMATrace
+from repro.network.dijkstra import shortest_path_lengths
+
+
+@dataclass(frozen=True)
+class SolutionStats:
+    """Distance and load statistics of one solution.
+
+    Distances are per customer (to its assigned facility); utilization is
+    per opened facility (served / capacity).
+    """
+
+    objective: float
+    mean_distance: float
+    median_distance: float
+    p95_distance: float
+    max_distance: float
+    facilities_open: int
+    facilities_used: int
+    mean_utilization: float
+    max_utilization: float
+    gini_load: float
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for table output."""
+        return {
+            "objective": round(self.objective, 1),
+            "mean_dist": round(self.mean_distance, 1),
+            "median_dist": round(self.median_distance, 1),
+            "p95_dist": round(self.p95_distance, 1),
+            "max_dist": round(self.max_distance, 1),
+            "open": self.facilities_open,
+            "used": self.facilities_used,
+            "mean_util": round(self.mean_utilization, 3),
+            "max_util": round(self.max_utilization, 3),
+            "gini_load": round(self.gini_load, 3),
+        }
+
+
+def _customer_distances(
+    instance: MCFSInstance, solution: MCFSSolution
+) -> np.ndarray:
+    """Per-customer distance to its assigned facility.
+
+    Measured customer-to-facility; on directed networks the search runs
+    per distinct customer node, matching the matcher's direction.
+    """
+    distances = np.zeros(instance.m)
+    if instance.network.directed:
+        by_node: dict[int, list[int]] = defaultdict(list)
+        for i, node in enumerate(instance.customers):
+            by_node[node].append(i)
+        for node, members in by_node.items():
+            targets = {
+                instance.facility_nodes[solution.assignment[i]]
+                for i in members
+            }
+            result = shortest_path_lengths(
+                instance.network, node, targets=targets
+            )
+            for i in members:
+                f_node = instance.facility_nodes[solution.assignment[i]]
+                distances[i] = result.dist[f_node]
+        return distances
+
+    by_facility: dict[int, list[int]] = defaultdict(list)
+    for i, j in enumerate(solution.assignment):
+        by_facility[j].append(i)
+    for j, members in by_facility.items():
+        result = shortest_path_lengths(
+            instance.network,
+            instance.facility_nodes[j],
+            targets={instance.customers[i] for i in members},
+        )
+        for i in members:
+            distances[i] = result.dist[instance.customers[i]]
+    return distances
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = perfectly even)."""
+    if len(values) == 0:
+        return 0.0
+    sorted_vals = np.sort(np.asarray(values, dtype=np.float64))
+    total = sorted_vals.sum()
+    if total <= 0:
+        return 0.0
+    n = len(sorted_vals)
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * sorted_vals).sum()) / (n * total) - (n + 1) / n)
+
+
+def solution_stats(
+    instance: MCFSInstance, solution: MCFSSolution
+) -> SolutionStats:
+    """Compute distance and load statistics for a solution."""
+    distances = _customer_distances(instance, solution)
+    loads = solution.load_per_facility()
+    utilizations = np.array(
+        [loads[j] / instance.capacities[j] for j in solution.selected]
+    )
+    load_values = np.array([loads[j] for j in solution.selected])
+    return SolutionStats(
+        objective=float(distances.sum()),
+        mean_distance=float(distances.mean()),
+        median_distance=float(np.median(distances)),
+        p95_distance=float(np.percentile(distances, 95)),
+        max_distance=float(distances.max()),
+        facilities_open=len(solution.selected),
+        facilities_used=int((load_values > 0).sum()),
+        mean_utilization=float(utilizations.mean()) if len(utilizations) else 0.0,
+        max_utilization=float(utilizations.max()) if len(utilizations) else 0.0,
+        gini_load=_gini(load_values),
+    )
+
+
+def compare_solutions(
+    instance: MCFSInstance,
+    solutions: Sequence[MCFSSolution],
+) -> list[dict[str, Any]]:
+    """Side-by-side comparison rows for several solutions.
+
+    Adds a ``vs_best`` column: each solution's objective relative to the
+    best one in the group.
+    """
+    rows = []
+    for solution in solutions:
+        stats = solution_stats(instance, solution)
+        row: dict[str, Any] = {"algorithm": solution.algorithm}
+        row.update(stats.as_row())
+        row["runtime_s"] = round(solution.runtime_sec, 4)
+        rows.append(row)
+    best = min(row["objective"] for row in rows)
+    for row in rows:
+        row["vs_best"] = round(row["objective"] / best, 3) if best > 0 else 1.0
+    return rows
+
+
+def convergence_report(trace: WMATrace, m: int) -> dict[str, Any]:
+    """Summarize a WMA run's convergence behaviour (Figure 12b style).
+
+    Reports how many iterations reached 50 / 90 / 100 % coverage, the
+    matching-vs-cover time split, and the edge-materialization ratio
+    relative to a full bipartite graph of the given size.
+    """
+    if trace.iterations == 0:
+        raise ValueError("trace is empty")
+
+    def iterations_to(fraction: float) -> int | None:
+        threshold = fraction * m
+        for t, covered in enumerate(trace.covered):
+            if covered >= threshold:
+                return t + 1
+        return None
+
+    total_matching = sum(trace.matching_time)
+    total_cover = sum(trace.cover_time)
+    total = total_matching + total_cover
+    return {
+        "iterations": trace.iterations,
+        "iters_to_50pct": iterations_to(0.5),
+        "iters_to_90pct": iterations_to(0.9),
+        "iters_to_full": iterations_to(1.0),
+        "final_covered": trace.covered[-1],
+        "matching_time_share": (
+            round(total_matching / total, 3) if total > 0 else 0.0
+        ),
+        "cover_time_share": round(total_cover / total, 3) if total > 0 else 0.0,
+        "edges_final": trace.edges_materialized[-1],
+        "first_iteration_matching_share": (
+            round(trace.matching_time[0] / total_matching, 3)
+            if total_matching > 0
+            else 0.0
+        ),
+    }

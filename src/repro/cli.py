@@ -28,7 +28,7 @@ import sys
 from collections.abc import Sequence
 
 from repro import SOLVERS, solve, validate_solution
-from repro.analysis import compare_solutions
+from repro.bench.solution_stats import compare_solutions
 from repro.bench.reporting import format_series, format_table
 from repro.io.serialization import load_instance, save_instance, save_solution
 

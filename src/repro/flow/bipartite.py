@@ -43,8 +43,7 @@ class _FilteredCursor:
         self._cursor = cursor
         self._allowed = allowed
 
-    # Driven by the checkpointed sspa reveal loop; pops are O(1) amortized.
-    def peek(self) -> tuple[int, float] | None:  # reprolint: disable=REP005
+    def peek(self) -> tuple[int, float] | None:
         while True:
             item = self._cursor.peek()
             if item is None or item[0] in self._allowed:
@@ -208,7 +207,7 @@ class BipartiteState:
         )
 
     # Post-solve O(m) accessor over the finished matching.
-    def matched_pairs(  # reprolint: disable=REP005
+    def matched_pairs(  # reprolint: disable=REP101
         self,
     ) -> Iterable[tuple[int, int, float]]:
         """Yield ``(customer, facility, distance)`` for matched edges."""

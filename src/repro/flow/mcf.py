@@ -14,11 +14,6 @@ potentials come from Bellman-Ford, so negative arc *costs* are accepted
 integral optimal flow, as usual.
 """
 
-# Reference implementation used for cross-checking the lazy matcher on
-# small instances (tests and the exact baseline); not on the budgeted
-# production path.
-# reprolint: disable=REP005
-
 from __future__ import annotations
 
 import heapq
@@ -26,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.runtime.budget import checkpoint as _budget_checkpoint
 
 INF = math.inf
 
@@ -124,6 +120,7 @@ class FlowNetwork:
         excess = list(self.supply)
 
         while True:
+            _budget_checkpoint()
             sources = [v for v in range(self.n) if excess[v] > 1e-12]
             if not sources:
                 break
@@ -177,6 +174,7 @@ class FlowNetwork:
         """
         dist = [0.0] * self.n
         for _round_idx in range(self.n):
+            _budget_checkpoint()
             changed = False
             for v in range(self.n):
                 for ai in self._out[v]:
@@ -200,6 +198,7 @@ class FlowNetwork:
         done = [False] * self.n
         heap: list[tuple[float, int]] = [(0.0, source)]
         while heap:
+            _budget_checkpoint()
             d, u = heapq.heappop(heap)
             if done[u]:
                 continue

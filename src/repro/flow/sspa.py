@@ -155,7 +155,7 @@ def _residual_dijkstra(
 
 
 # O(settled) scan immediately following the checkpointed residual Dijkstra.
-def _stop_bound(  # reprolint: disable=REP005
+def _stop_bound(  # reprolint: disable=REP101
     state: BipartiteState,
     dist: dict[int, float],
     settled: Sequence[int],

@@ -19,6 +19,7 @@ import math
 
 from repro.errors import GraphError
 from repro.network.graph import Network
+from repro.runtime.budget import checkpoint as _budget_checkpoint
 
 INF = math.inf
 
@@ -71,6 +72,7 @@ def astar_distance(
     heap: list[tuple[float, int]] = [(h(source), source)]
 
     while heap:
+        _budget_checkpoint()
         _, u = heapq.heappop(heap)
         if u in done:
             continue

@@ -12,9 +12,11 @@ for capacity accounting concerns which customers and facilities can
 possibly interact at all.
 """
 
-# Component labeling is a single O(n+m) pass at instance-build/validation
-# time, dominated by the checkpointed solver work that follows.
-# reprolint: disable=REP005
+# Component labeling is a single O(n+m) pass at instance-build and
+# validation time, *before* the solver's budget scope begins -- raising
+# BudgetExceeded here would pre-empt the degraded-return salvage logic
+# that only exists once a solver holds state.
+# reprolint: disable=REP101
 
 from __future__ import annotations
 

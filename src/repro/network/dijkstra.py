@@ -64,7 +64,7 @@ class DijkstraResult:
     settled: list[int] = field(default_factory=list)
 
     # Post-solve O(path-length) reconstruction; budgets do not apply.
-    def path_to(self, target: int) -> list[int]:  # reprolint: disable=REP005
+    def path_to(self, target: int) -> list[int]:  # reprolint: disable=REP101
         """Recover the node sequence from the source to ``target``.
 
         Raises
@@ -244,8 +244,7 @@ def multi_source_lengths(
     )
 
 
-# The per-source kernel runs checkpoint inside DijkstraWorkspace.run.
-def distance_matrix(  # reprolint: disable=REP005
+def distance_matrix(
     network: Network,
     sources: Sequence[int],
     targets: Sequence[int],

@@ -21,10 +21,6 @@ distances are final, so slicing a cached vector at any target set is
 bit-identical to an early-exit run from the same source.
 """
 
-# Cache admin loops are O(entries); the miss path delegates to the
-# checkpointed Dijkstra kernel.
-# reprolint: disable=REP005
-
 from __future__ import annotations
 
 from collections import OrderedDict

@@ -21,10 +21,6 @@ how advances interleave -- the amortized guarantee the paper's complexity
 analysis relies on.
 """
 
-# Streams are driven by the checkpointed sspa/set_cover outer loops (one
-# checkpoint per heavy operation, per the budget granularity convention).
-# reprolint: disable=REP005
-
 from __future__ import annotations
 
 import heapq
@@ -33,6 +29,7 @@ from collections.abc import Iterable
 
 from repro.network.graph import Network
 from repro.obs import metrics
+from repro.runtime.budget import checkpoint as _budget_checkpoint
 
 INF = math.inf
 
@@ -99,6 +96,9 @@ class NearestFacilityStream:
 
     def _advance(self) -> None:
         """Resume Dijkstra until one more facility node is settled."""
+        # One checkpoint per heavy operation (the budget granularity
+        # convention); the per-edge loop below stays call-free.
+        _budget_checkpoint()
         heap = self._heap
         dist = self._dist
         done = self._done

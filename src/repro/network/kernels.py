@@ -300,8 +300,7 @@ def workspace_for(network: Network) -> DijkstraWorkspace:
     return ws
 
 
-# The per-group kernel runs checkpoint inside DijkstraWorkspace.run.
-def many_source_lengths(  # reprolint: disable=REP005
+def many_source_lengths(
     network: Network,
     source_groups: Sequence[Sequence[int]],
     *,

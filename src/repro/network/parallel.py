@@ -28,7 +28,7 @@ The worker count resolves as: explicit argument, else the
 
 # Worker-process and pool-admin code: the cooperative budget is scoped to
 # the parent process, whose fan-out loops checkpoint between chunks.
-# reprolint: disable=REP005
+# reprolint: disable=REP101
 
 from __future__ import annotations
 
@@ -222,6 +222,9 @@ class ParallelDistanceEngine:
     def _ensure_pool(self) -> None:
         if self._pool is not None:
             return
+        # Fill the network's lazy memo fields before forking so workers
+        # (and concurrent cache readers) never first-touch shared state.
+        self.network.materialize_caches()
         specs: list[_ShmSpec] = []
         for arr in self.network.csr:
             shm = shared_memory.SharedMemory(

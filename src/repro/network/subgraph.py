@@ -10,7 +10,7 @@ and lift instances onto it.
 
 # Instance-construction module: subgraph extraction happens while building
 # or restricting instances, outside any budget scope.
-# reprolint: disable=REP005
+# reprolint: disable=REP101
 
 from __future__ import annotations
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.network.graph import Network
+from repro.runtime.budget import checkpoint as _budget_checkpoint
 
 INF = math.inf
 
@@ -52,6 +53,7 @@ class VoronoiPartition:
         """
         neighbors: dict[int, set[int]] = {}
         for u, v, _ in network.edges():
+            _budget_checkpoint()
             a, b = int(self.label[u]), int(self.label[v])
             if a < 0 or b < 0 or a == b:
                 continue
@@ -85,6 +87,7 @@ def voronoi_cells(network: Network, sources: Sequence[int]) -> VoronoiPartition:
             heapq.heappush(heap, (0.0, idx, s))
 
     while heap:
+        _budget_checkpoint()
         d, src, u = heapq.heappop(heap)
         if done[u]:
             continue

@@ -1,0 +1,9 @@
+"""Half of an eager import cycle (alpha -> beta -> alpha)."""
+
+from beta import beta_value
+
+alpha_value = 1
+
+
+def use_beta() -> int:
+    return beta_value

@@ -1,0 +1,9 @@
+"""Other half of the eager cycle."""
+
+from alpha import alpha_value
+
+beta_value = 2
+
+
+def use_alpha() -> int:
+    return alpha_value

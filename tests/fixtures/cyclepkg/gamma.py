@@ -1,0 +1,7 @@
+"""A lazy (function-local) import: edges exist but are not eager."""
+
+
+def lazy_peek() -> int:
+    from alpha import alpha_value
+
+    return alpha_value

@@ -1,0 +1,23 @@
+"""Three-deep mutation chain for the effect fixpoint: ``outer`` never
+touches the box itself, but transitively mutates it through two calls."""
+
+
+class Box:
+    def __init__(self) -> None:
+        self.items: list[int] = []
+
+
+def poke(box: Box) -> None:
+    box.items.append(1)
+
+
+def relay(box: Box) -> None:
+    poke(box)
+
+
+def outer(box: Box) -> None:
+    relay(box)
+
+
+def reader(box: Box) -> int:
+    return len(box.items)

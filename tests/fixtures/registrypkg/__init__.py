@@ -1,0 +1,6 @@
+"""Root of the registry fixture: the SOLVERS mapping the call graph
+must treat as an entry point (virtual ``<SOLVERS>`` node)."""
+
+from baselines.foo import solve_foo
+
+SOLVERS = {"foo": solve_foo}

@@ -1,0 +1,16 @@
+"""A solver whose budget compliance is only visible interprocedurally:
+``solve_foo`` never checkpoints lexically, but its helper does."""
+
+from runtime.budget import checkpoint
+
+
+def _scan(items) -> int:
+    total = 0
+    for item in items:
+        checkpoint()
+        total += item
+    return total
+
+
+def solve_foo(instance) -> int:
+    return _scan(instance)

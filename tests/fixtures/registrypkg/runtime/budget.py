@@ -1,0 +1,5 @@
+"""Stand-in for the budget module: the lexical checkpoint source."""
+
+
+def checkpoint() -> None:
+    pass

@@ -355,7 +355,7 @@ class TestRep004SeededRandomness:
         assert result.ok
 
 
-class TestRep005BudgetCheckpoint:
+class TestRep101BudgetReachability:
     def test_unchecked_hot_loop_fires(self, tmp_path):
         result = run_lint(
             tmp_path,
@@ -371,9 +371,9 @@ class TestRep005BudgetCheckpoint:
                 }
             ),
         )
-        assert rule_ids(result) == ["REP005"]
+        assert rule_ids(result) == ["REP101"]
         assert result.findings[0].symbol == "sweep"
-        assert result.findings[0].severity == "warning"
+        assert result.findings[0].severity == "error"
 
     def test_checkpointed_loop_clean(self, tmp_path):
         result = run_lint(
@@ -455,7 +455,7 @@ class TestRep005BudgetCheckpoint:
             with_registry(
                 {
                     "network/hot.py": """
-                        def sweep(items):  # reprolint: disable=REP005
+                        def sweep(items):  # reprolint: disable=REP101
                             for item in items:
                                 pass
                     """
@@ -726,4 +726,4 @@ class TestSelfCheck:
     def test_every_rule_registered_and_distinct(self):
         ids = [r.id for r in default_rules()]
         assert ids == sorted(ids)
-        assert len(ids) == len(set(ids)) == 6
+        assert len(ids) == len(set(ids)) == 9
