@@ -218,6 +218,7 @@ def run_solvers(
     seeds: dict[str, int] | None = None,
     workers: int | None = None,
     distance_cache: bool | distcache.DistanceCache | None = None,
+    oracle: Any = None,
     deadline: float | None = None,
     fallback: Any = None,
 ) -> list[BenchRow]:
@@ -243,6 +244,12 @@ def run_solvers(
         shared by every method in this line-up; an existing cache
         instance is used as-is (e.g. one shared across a parameter
         sweep).  Cached distances are bit-identical to fresh runs.
+    oracle:
+        ALT distance-oracle control passed to every method (universal
+        option; see :func:`repro.network.oracle.resolve`).  ``True`` or
+        ``"alt"`` shares the instance network's default oracle across
+        the line-up; ``None`` defers to ``REPRO_ORACLE``.  Objectives
+        are bit-identical to the kernel path.
     deadline:
         Per-method wall-clock budget in seconds, enforced cooperatively
         by the runtime for *every* method; with ``fallback`` (default:
@@ -270,6 +277,8 @@ def run_solvers(
                 kwargs["seed"] = seeds[method]
             if workers is not None and method in WORKER_AWARE_METHODS:
                 kwargs["workers"] = workers
+            if oracle is not None:
+                kwargs["oracle"] = oracle
             rows.append(
                 solver_row(
                     instance,

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro compare instance.npz --methods wma,hilbert,exact
     python -m repro bench --experiment fig6a
     python -m repro profile --kind uniform --n 256 --seed 0 -o report.json
+    python -m repro oracle build --kind uniform --n 256 --seed 0
     python -m repro lint --format json
 
 ``generate`` builds a synthetic instance file, ``solve`` runs one solver
@@ -16,7 +17,10 @@ and writes the solution, ``stats`` prints network/instance statistics,
 a paper experiment by id, ``profile`` runs one solver under the
 observability layer (:mod:`repro.obs`), emits a structured metrics/span
 report, and can gate counters against a committed baseline (the CI
-benchmark-smoke job), and ``lint`` runs reprolint, the repo-specific
+benchmark-smoke job), ``oracle`` builds or inspects the precomputed ALT
+distance oracle (:mod:`repro.network.oracle`; blobs are keyed by network
+fingerprint so CI can cache them across runs), and ``lint`` runs
+reprolint, the repo-specific
 static-analysis pass (:mod:`repro.analysis`; rule catalogue in
 ``docs/dev.md``).
 """
@@ -170,6 +174,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process count for distance fan-out in worker-aware solvers "
         "(default: REPRO_WORKERS env var, else serial)",
     )
+    prof.add_argument(
+        "--oracle", choices=("alt", "off"), default=None,
+        help="ALT distance oracle: 'alt' enables, 'off' disables "
+        "(default: REPRO_ORACLE env var); oracle.* counters appear in "
+        "the report either way",
+    )
+
+    orc = sub.add_parser(
+        "oracle",
+        help="build or inspect the precomputed ALT distance oracle",
+    )
+    orc_sub = orc.add_subparsers(dest="oracle_command", required=True)
+    for name, help_text in (
+        ("build", "build (or refresh) the oracle blob for an instance"),
+        ("info", "report the oracle parameters and cache status as JSON"),
+    ):
+        sp = orc_sub.add_parser(name, help=help_text)
+        sp.add_argument(
+            "instance", nargs="?", default=None,
+            help="instance .npz path (omitted: generate a synthetic one)",
+        )
+        sp.add_argument(
+            "--kind", choices=("uniform", "clustered"), default="uniform",
+            help="synthetic kind when no instance file is given",
+        )
+        sp.add_argument(
+            "--n", type=int, default=256, help="synthetic network size"
+        )
+        sp.add_argument(
+            "--seed", type=int, default=0, help="synthetic seed"
+        )
+        sp.add_argument(
+            "--landmarks", type=int, default=None,
+            help="landmark count (default 16)",
+        )
+        sp.add_argument(
+            "--oracle-seed", type=int, default=0,
+            help="seed for the farthest-point landmark sweep",
+        )
+        sp.add_argument(
+            "--cache-dir", default=None,
+            help="oracle blob directory (default: REPRO_ORACLE_DIR env "
+            "var, else .oracle-cache)",
+        )
+        if name == "info":
+            sp.add_argument(
+                "-o", "--output", default=None,
+                help="info JSON path (default: stdout)",
+            )
 
     lint = sub.add_parser(
         "lint",
@@ -374,25 +427,30 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_or_generate(args: argparse.Namespace):
+    """The instance named by ``args``, or a synthetic one (profile/oracle)."""
+    if args.instance is not None:
+        return load_instance(args.instance)
+    from repro.datagen.instances import clustered_instance, uniform_instance
+
+    factory = (
+        uniform_instance if args.kind == "uniform" else clustered_instance
+    )
+    return factory(args.n, seed=args.seed)
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs import tracing
     from repro.obs.profile import check_against_baseline, profile_solver
 
-    if args.instance is not None:
-        instance = load_instance(args.instance)
-    else:
-        from repro.datagen.instances import clustered_instance, uniform_instance
-
-        factory = (
-            uniform_instance if args.kind == "uniform" else clustered_instance
-        )
-        instance = factory(args.n, seed=args.seed)
-
+    instance = _load_or_generate(args)
+    oracle = {"alt": "alt", "off": False, None: None}[args.oracle]
     trace = tracing.Trace()
     report = profile_solver(
-        instance, args.method, trace=trace, workers=args.workers
+        instance, args.method, trace=trace, workers=args.workers,
+        oracle=oracle,
     )
     payload = report.to_json()
     if args.output:
@@ -426,6 +484,63 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.network import oracle as oracle_mod
+
+    instance = _load_or_generate(args)
+    network = instance.network
+    cache_dir = (
+        args.cache_dir
+        or os.environ.get(oracle_mod.ORACLE_DIR_ENV_VAR)
+        or ".oracle-cache"
+    )
+    n_landmarks = (
+        args.landmarks
+        if args.landmarks is not None
+        else oracle_mod.DEFAULT_LANDMARKS
+    )
+    path = oracle_mod.cache_path(
+        cache_dir, network, n_landmarks=n_landmarks, seed=args.oracle_seed
+    )
+
+    if args.oracle_command == "build":
+        cached = oracle_mod.AltOracle.load(path, network)
+        if cached is not None:
+            print(f"up to date: {path}")
+            return 0
+        oracle = oracle_mod.AltOracle.build(
+            network, n_landmarks=n_landmarks, seed=args.oracle_seed
+        )
+        oracle.save(path)
+        print(
+            f"wrote {path} ({oracle.n_landmarks} landmarks, "
+            f"{network.n_nodes} nodes)"
+        )
+        return 0
+
+    # info: load the blob when present, else describe an in-memory build.
+    oracle = oracle_mod.AltOracle.load(path, network)
+    cached = oracle is not None
+    if oracle is None:
+        oracle = oracle_mod.AltOracle.build(
+            network, n_landmarks=n_landmarks, seed=args.oracle_seed
+        )
+    doc = oracle.info()
+    doc["cached"] = cached
+    doc["cache_path"] = path
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lintcli import run_from_args
 
@@ -444,6 +559,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "refine": _cmd_refine,
         "export": _cmd_export,
         "profile": _cmd_profile,
+        "oracle": _cmd_oracle,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

@@ -130,6 +130,17 @@ def cover_components(
             )
         j_in = max(incoming, key=lambda j: caps[j])
 
+        # Unspent budget: open the candidate outright.  Swapping cannot
+        # repair an under-sized selection (a size-preserving swap inside
+        # one deficient component just trades capacities back and forth
+        # until the guard trips), and callers may legitimately arrive
+        # here with fewer than k facilities (e.g. Hilbert's bucketing
+        # emits one facility per non-empty bucket).
+        if len(selected_set) < min(instance.k, instance.l):
+            selected_set.add(j_in)
+            surplus[comp_of_fac[j_in]] += caps[j_in]
+            continue
+
         # Lowest-capacity selected facility in the highest-surplus
         # component (skipping the receiving component when possible, so
         # the swap is a genuine transfer).

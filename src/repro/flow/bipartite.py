@@ -54,6 +54,11 @@ class _FilteredCursor:
         item = self.peek()
         return item[1] if item is not None else float("inf")
 
+    def peek_lower_bound(self) -> float | None:
+        # Disallowed facilities at the frontier are nearer than the next
+        # allowed one, so the unfiltered bound still bounds from below.
+        return self._cursor.peek_lower_bound()
+
     def take(self) -> tuple[int, float] | None:
         item = self.peek()
         if item is not None:
@@ -148,6 +153,21 @@ class BipartiteState:
     def next_candidate_distance(self, i: int) -> float:
         """``nnDist`` of Algorithm 2: distance of the next unrevealed facility."""
         return self.cursor(i).peek_distance()
+
+    def next_candidate_lower_bound(self, i: int) -> float | None:
+        """A cheap lower bound on :meth:`next_candidate_distance`.
+
+        ``None`` when the underlying stream offers no bound without
+        resuming its search (the kernel path); see the SSPA fast path in
+        :mod:`repro.flow.sspa`.  Never materializes an edge or advances
+        a stream.
+        """
+        return self.cursor(i).peek_lower_bound()
+
+    @property
+    def has_cheap_bounds(self) -> bool:
+        """Whether the stream pool serves oracle-backed lower bounds."""
+        return self.pool.has_oracle
 
     def materialize_next(self, i: int) -> int | None:
         """Reveal customer ``i``'s next-nearest facility as a ``G_b`` edge.

@@ -52,6 +52,7 @@ _EPS = 1e-9
 
 _DIJKSTRA_COUNTERS = metrics.CounterBlock("sspa.dijkstra_runs", "sspa.pops")
 _REVEAL_COUNTERS = metrics.CounterBlock("sspa.reveals")
+_PRUNE_COUNTERS = metrics.CounterBlock("oracle.prunes")
 
 
 class ThresholdRule(Enum):
@@ -206,6 +207,40 @@ def _stop_bound(  # reprolint: disable=REP101
     return raw_best - tau_max, best_customer
 
 
+# O(settled) scan immediately following the checkpointed residual Dijkstra.
+def _stop_bound_lb(  # reprolint: disable=REP101
+    state: BipartiteState,
+    dist: dict[int, float],
+    settled: Sequence[int],
+) -> float | None:
+    """Oracle-backed lower bound on the Theorem-1 reveal threshold.
+
+    Uses :meth:`BipartiteState.next_candidate_lower_bound` instead of
+    the exact ``nnDist`` peek, so no stream advances and no ALT queries
+    run.  The result never exceeds the exact ``_stop_bound`` value
+    (each per-customer term is bounded from below), so
+    ``sp_len <= lb + eps`` certifies the exact rule would stop too --
+    reveal decisions, and hence objectives, are identical.  Returns
+    ``None`` when any settled customer's stream offers no cheap bound
+    (the kernel path), disabling the fast path entirely.
+    """
+    m = state.m
+    cust_p = state.customer_potential
+    best = INF
+    for u in settled:
+        if u >= m:
+            continue
+        nn_lb = state.next_candidate_lower_bound(u)
+        if nn_lb is None:
+            return None
+        if nn_lb == INF:
+            continue
+        t = dist[u] + nn_lb - cust_p[u]
+        if t < best:
+            best = t
+    return best
+
+
 def find_pair(
     state: BipartiteState,
     customer: int,
@@ -229,10 +264,22 @@ def find_pair(
     _budget_checkpoint()
     m = state.m
 
+    use_fast_path = (
+        rule is ThresholdRule.THEOREM1 and state.has_cheap_bounds
+    )
     while True:
         dist, parent, settled, target, sp_len = _residual_dijkstra(
             state, customer
         )
+        if target is not None and use_fast_path:
+            lb_bound = _stop_bound_lb(state, dist, settled)
+            if lb_bound is not None and sp_len <= lb_bound + _EPS:
+                # The exact threshold is at least lb_bound, so the exact
+                # rule would stop here too -- skip its nnDist peeks
+                # (each a potential ALT query) entirely.
+                (c_prunes,) = _PRUNE_COUNTERS.get()
+                c_prunes.add()
+                break
         bound, best_customer = _stop_bound(state, dist, settled, rule)
 
         if target is not None and sp_len <= bound + _EPS:

@@ -5,7 +5,9 @@ run on: a compact weighted-graph representation (:class:`~repro.network.graph.Ne
 Dijkstra variants (:mod:`repro.network.dijkstra`), preallocated batched
 kernels (:mod:`repro.network.kernels`), process-parallel fan-out
 (:mod:`repro.network.parallel`), a cross-run distance cache
-(:mod:`repro.network.distcache`), resumable nearest-facility streams
+(:mod:`repro.network.distcache`), a precomputed ALT landmark distance
+oracle (:mod:`repro.network.oracle` / :mod:`repro.network.landmarks`),
+resumable nearest-facility streams
 (:mod:`repro.network.incremental`), and connected-component bookkeeping
 (:mod:`repro.network.components`).
 """
@@ -28,6 +30,8 @@ from repro.network.distcache import DistanceCache
 from repro.network.graph import GraphStats, Network
 from repro.network.incremental import NearestFacilityStream, StreamCursor, StreamPool
 from repro.network.kernels import DijkstraWorkspace, many_source_lengths
+from repro.network.landmarks import select_landmarks
+from repro.network.oracle import AltOracle, OracleFacilityStream
 from repro.network.parallel import ParallelDistanceEngine, resolve_workers
 from repro.network.subgraph import (
     SubgraphMapping,
@@ -52,6 +56,9 @@ __all__ = [
     "ParallelDistanceEngine",
     "resolve_workers",
     "DistanceCache",
+    "AltOracle",
+    "OracleFacilityStream",
+    "select_landmarks",
     "astar_distance",
     "VoronoiPartition",
     "voronoi_cells",

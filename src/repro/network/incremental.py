@@ -27,6 +27,7 @@ import heapq
 import math
 from collections.abc import Iterable
 
+from repro.network import oracle as _oracle
 from repro.network.graph import Network
 from repro.obs import metrics
 from repro.runtime.budget import checkpoint as _budget_checkpoint
@@ -94,6 +95,15 @@ class NearestFacilityStream:
         item = self.facility_at(rank)
         return item[1] if item is not None else INF
 
+    def frontier_lower_bound(self) -> float | None:
+        """No cheap bound on the next facility: resuming *is* the cost.
+
+        Oracle-backed streams override this with their heap minimum; the
+        ``None`` here keeps the SSPA lower-bound fast path disabled on
+        the kernel path, so kernel-path behavior stays byte-identical.
+        """
+        return None
+
     def _advance(self) -> None:
         """Resume Dijkstra until one more facility node is settled."""
         # One checkpoint per heavy operation (the budget granularity
@@ -144,7 +154,9 @@ class StreamCursor:
     introduced to.
     """
 
-    def __init__(self, stream: NearestFacilityStream) -> None:
+    def __init__(
+        self, stream: NearestFacilityStream | _oracle.OracleFacilityStream
+    ) -> None:
         self._stream = stream
         self._rank = 0
 
@@ -176,6 +188,20 @@ class StreamCursor:
             return found[rank][1]
         return self._stream.distance_at(rank)
 
+    def peek_lower_bound(self) -> float | None:
+        """A cheap lower bound on :meth:`peek_distance`, without advancing.
+
+        Already-revealed facilities return their exact distance; at the
+        stream frontier the underlying stream's
+        ``frontier_lower_bound`` answers (``None`` on kernel streams,
+        where no cheap bound exists).  Never triggers search work.
+        """
+        found = self._stream._found
+        rank = self._rank
+        if rank < len(found):
+            return found[rank][1]
+        return self._stream.frontier_lower_bound()
+
     def take(self) -> tuple[int, float] | None:
         """Consume and return the next ``(facility_node, distance)``."""
         item = self.peek()
@@ -205,20 +231,48 @@ class StreamPool:
     WMA touches customers unevenly -- covered customers stop exploring
     early -- so streams are created on first use.  Customers co-located on
     one node share the Dijkstra but advance independent cursors.
+
+    When an ALT oracle scope matching the network is active at
+    construction (:func:`repro.network.oracle.active_for`), the pool
+    creates :class:`~repro.network.oracle.OracleFacilityStream` objects
+    instead of kernel streams; emitted ``(facility, distance)`` pairs
+    are bit-identical either way.
     """
 
     def __init__(self, network: Network, facility_nodes: Iterable[int]) -> None:
         self._network = network
         self._facility_nodes = tuple(int(f) for f in facility_nodes)
-        self._streams: dict[int, NearestFacilityStream] = {}
+        self._streams: dict[
+            int, NearestFacilityStream | _oracle.OracleFacilityStream
+        ] = {}
+        self._oracle = _oracle.active_for(network)
+        if self._oracle is not None:
+            # Oracle streams replace the kernel streams wholesale, so
+            # the incremental.* counters would vanish from reports (the
+            # baseline gate treats a missing counter as a violation).
+            # Materialize them at zero to keep the vocabulary stable.
+            _ADVANCE_COUNTERS.get()
+            metrics.active().counter("incremental.streams")
 
-    def stream_for(self, node: int) -> NearestFacilityStream:
+    @property
+    def has_oracle(self) -> bool:
+        """Whether this pool serves oracle-backed streams."""
+        return self._oracle is not None
+
+    def stream_for(
+        self, node: int
+    ) -> NearestFacilityStream | _oracle.OracleFacilityStream:
         """Return (creating if needed) the shared stream rooted at ``node``."""
         stream = self._streams.get(node)
         if stream is None:
-            stream = NearestFacilityStream(
-                self._network, node, self._facility_nodes
-            )
+            if self._oracle is not None:
+                stream = _oracle.OracleFacilityStream(
+                    self._oracle, node, self._facility_nodes
+                )
+            else:
+                stream = NearestFacilityStream(
+                    self._network, node, self._facility_nodes
+                )
             self._streams[node] = stream
         return stream
 

@@ -1,0 +1,116 @@
+"""Seeded farthest-point landmark selection for the ALT oracle.
+
+ALT (A*, Landmarks, Triangle inequality) preprocessing picks a small set
+of *landmark* nodes and stores the full single-source distance vector of
+each; the triangle inequality then turns those vectors into cheap lower
+bounds on any point-to-point distance (see :mod:`repro.network.oracle`).
+Bound quality depends almost entirely on landmark placement: landmarks
+"behind" the target relative to the source give tight bounds, clustered
+landmarks give redundant ones.
+
+This module implements the classic *farthest-point* heuristic: start
+from a seeded random node, take the node farthest from it as the first
+landmark, then repeatedly add the node maximizing the minimum distance
+to the landmarks chosen so far.  Every selection step is one Dijkstra on
+the shared :class:`~repro.network.kernels.DijkstraWorkspace`, and that
+same run *is* the landmark's distance vector -- selection and
+precomputation cost one kernel run per landmark (plus one seeding run).
+
+Unreachable entries stay ``inf``; on multi-component networks the
+argmax naturally jumps to an uncovered component (its min-distance is
+infinite), so every component with at least one node gets a landmark
+once ``count`` is large enough.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.network.graph import Network
+from repro.network.kernels import workspace_for
+from repro.runtime.budget import checkpoint as _budget_checkpoint
+
+INF = math.inf
+
+
+def select_landmarks(
+    network: Network, count: int, *, seed: int = 0
+) -> tuple[list[int], np.ndarray]:
+    """Pick ``count`` landmarks and return their distance vectors.
+
+    Parameters
+    ----------
+    network:
+        The road network to preprocess.
+    count:
+        Number of landmarks; clamped to ``network.n_nodes``.
+    seed:
+        Seed for the starting node of the farthest-point sweep.  The
+        whole selection is deterministic given ``(network, count, seed)``.
+
+    Returns
+    -------
+    tuple[list[int], numpy.ndarray]
+        ``(landmarks, vectors)`` where ``vectors[i]`` is the full
+        single-source distance vector from ``landmarks[i]``
+        (``inf`` for unreachable nodes), shape ``(count, n_nodes)``.
+    """
+    n = network.n_nodes
+    if count < 1:
+        raise GraphError(f"landmark count must be >= 1, got {count}")
+    count = min(int(count), n)
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(n))
+
+    ws = workspace_for(network)
+    # Seeding run: the first landmark is the node farthest from a random
+    # start, which keeps landmarks on the periphery (central landmarks
+    # produce uniformly weak bounds).
+    ws.run([start])
+    seed_dist = ws.dist_array()
+    first = _farthest_finite(seed_dist, fallback=start)
+
+    landmarks: list[int] = []
+    vectors = np.full((count, n), INF, dtype=np.float64)
+    # min_dist[v]: distance from v to its nearest chosen landmark.
+    min_dist = np.full(n, INF, dtype=np.float64)
+    nxt = first
+    for i in range(count):
+        # One checkpoint per landmark Dijkstra (the build loop's unit of
+        # work for cooperative budgets).
+        _budget_checkpoint()
+        landmarks.append(nxt)
+        ws.run([nxt])
+        vec = ws.dist_array()
+        vectors[i, :] = vec
+        np.minimum(min_dist, vec, out=min_dist)
+        min_dist[nxt] = -INF  # never re-pick a chosen landmark
+        if i + 1 < count:
+            nxt = _farthest_finite(min_dist, fallback=None)
+            if nxt is None:
+                # Every node is already a landmark or coincident; stop
+                # early and truncate the vector block.
+                vectors = vectors[: i + 1]
+                break
+    return landmarks, vectors
+
+
+def _farthest_finite(dist: np.ndarray, fallback: int | None) -> int | None:
+    """Index of the largest entry, preferring finite over ``inf``.
+
+    ``inf`` entries mark nodes in components no landmark has reached
+    yet; picking one first extends coverage to that component.  Among
+    finite entries ties resolve to the lowest node id (``argmax``
+    returns the first maximum), keeping selection deterministic.
+    """
+    infinite = np.isinf(dist) & (dist > 0)
+    if infinite.any():
+        return int(np.argmax(infinite))
+    finite = np.where(np.isfinite(dist), dist, -INF)
+    best = int(np.argmax(finite))
+    if finite[best] == -INF:
+        return fallback
+    return best

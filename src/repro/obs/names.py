@@ -46,6 +46,15 @@ COUNTERS = frozenset(
         "distcache.hits",
         "distcache.misses",
         "distcache.evictions",
+        # -- network.oracle (ALT landmark distance oracle) -------------
+        "oracle.builds",
+        "oracle.cache_hits",
+        "oracle.cache_misses",
+        "oracle.queries",
+        "oracle.query_pops",
+        "oracle.query_relaxations",
+        "oracle.streams",
+        "oracle.prunes",
         # -- flow.sspa (successive shortest-path augmentation) ---------
         "sspa.dijkstra_runs",
         "sspa.pops",

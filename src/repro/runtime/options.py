@@ -52,7 +52,7 @@ __all__ = [
 ]
 
 #: Options every solver entry point accepts (ignored where meaningless).
-UNIVERSAL_OPTIONS = ("seed", "time_limit", "workers", "distance_cache")
+UNIVERSAL_OPTIONS = ("seed", "time_limit", "workers", "distance_cache", "oracle")
 
 
 @dataclass
@@ -77,6 +77,15 @@ class SolverOptions:
         ``True`` solves under a fresh
         :class:`~repro.network.distcache.DistanceCache` scope; an
         existing cache instance is used as-is (shared across calls).
+    oracle:
+        ALT distance-oracle control (:mod:`repro.network.oracle`):
+        ``True`` or ``"alt"`` solves under the instance network's
+        default oracle (built or loaded once per network), an
+        :class:`~repro.network.oracle.AltOracle` instance is used as-is
+        after a fingerprint check, ``False``/``"off"`` disables, and the
+        default ``None`` defers to the ``REPRO_ORACLE`` environment
+        variable.  Oracle-served distances are bit-identical to kernel
+        Dijkstra runs, so objectives never depend on this knob.
     extras:
         Solver-specific options (e.g. ``tie_breaking`` for WMA,
         ``mip_gap`` for exact, ``pool_size`` for ``kmedian-ls``).  Keys
@@ -88,6 +97,7 @@ class SolverOptions:
     time_limit: float | None = None
     workers: int | None = None
     distance_cache: Any = None
+    oracle: Any = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
@@ -218,12 +228,16 @@ def normalize_options(
 
 
 @contextmanager
-def option_scopes(opts: SolverOptions) -> Iterator[None]:
+def option_scopes(
+    opts: SolverOptions, instance: Any = None
+) -> Iterator[None]:
     """Enter the cross-cutting scopes implied by ``opts``.
 
     ``time_limit`` installs a cooperative :class:`Budget` (clamped to any
     enclosing budget); ``distance_cache`` installs a distance-cache
-    scope.  Both are no-ops when unset.
+    scope; ``oracle`` (resolved against ``instance.network``, including
+    the ``REPRO_ORACLE`` environment default) installs an ALT-oracle
+    scope.  All are no-ops when unset.
     """
     with ExitStack() as stack:
         if opts.time_limit is not None:
@@ -237,6 +251,15 @@ def option_scopes(opts: SolverOptions) -> Iterator[None]:
             if cache is True:
                 cache = distcache.DistanceCache()
             stack.enter_context(distcache.use(cache))
+        if opts.oracle is not False:
+            # Local import for the same layering reason as distcache.
+            from repro.network import oracle as oracle_mod
+
+            resolved = oracle_mod.resolve(
+                opts.oracle, getattr(instance, "network", None)
+            )
+            if resolved is not None:
+                stack.enter_context(oracle_mod.use(resolved))
         yield
 
 
@@ -274,7 +297,7 @@ def solver_api(
                 if value is not None:
                     call[name] = value
             call.update(opts.extras)
-            with option_scopes(opts):
+            with option_scopes(opts, instance):
                 return inner(instance, **call)
 
         entry.__solver_method__ = method  # type: ignore[attr-defined]

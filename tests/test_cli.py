@@ -163,3 +163,74 @@ class TestBench:
         assert set(cli.EXPERIMENTS) == set(mapping)
         for factory in mapping.values():
             assert callable(factory)
+
+
+class TestOracleCommand:
+    def test_build_then_up_to_date(self, tmp_path, capsys):
+        cache = str(tmp_path / "blobs")
+        argv = [
+            "oracle", "build", "--kind", "uniform", "--n", "64",
+            "--landmarks", "4", "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "4 landmarks" in out
+        # Second build finds the fingerprint-keyed blob and skips work.
+        assert main(argv) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_build_from_instance_file(self, instance_file, tmp_path, capsys):
+        cache = str(tmp_path / "blobs")
+        code = main(
+            ["oracle", "build", instance_file, "--landmarks", "3",
+             "--cache-dir", cache]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_info_reports_cache_status(self, tmp_path, capsys):
+        cache = str(tmp_path / "blobs")
+        base = [
+            "--kind", "uniform", "--n", "64", "--landmarks", "4",
+            "--cache-dir", cache,
+        ]
+        assert main(["oracle", "info", *base]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cached"] is False
+        assert doc["n_landmarks"] == 4
+        assert main(["oracle", "build", *base]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "info", *base]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cached"] is True
+        assert doc["cache_path"].startswith(cache)
+
+    def test_info_writes_output_file(self, tmp_path, capsys):
+        out = str(tmp_path / "info.json")
+        code = main(
+            ["oracle", "info", "--kind", "uniform", "--n", "64",
+             "--landmarks", "2", "--cache-dir", str(tmp_path / "b"),
+             "-o", out]
+        )
+        assert code == 0
+        doc = json.loads(open(out).read())
+        assert doc["format_version"] >= 1
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestProfileOracleFlag:
+    def test_profile_oracle_alt_and_off(self, tmp_path):
+        base = [
+            "profile", "--kind", "uniform", "--n", "64", "--seed", "1",
+            "--method", "wma",
+        ]
+        alt_path = tmp_path / "alt.json"
+        off_path = tmp_path / "off.json"
+        assert main(base + ["--oracle", "alt", "-o", str(alt_path)]) == 0
+        assert main(base + ["--oracle", "off", "-o", str(off_path)]) == 0
+        alt = json.loads(alt_path.read_text())
+        off = json.loads(off_path.read_text())
+        assert alt["objective"] == off["objective"]
+        assert alt["metrics"]["oracle.queries"] > 0
+        assert off["metrics"]["oracle.queries"] == 0

@@ -34,6 +34,14 @@ GOLDEN_COUNTERS = [
     "incremental.relaxations",
     "incremental.settled",
     "incremental.streams",
+    "oracle.builds",
+    "oracle.cache_hits",
+    "oracle.cache_misses",
+    "oracle.prunes",
+    "oracle.queries",
+    "oracle.query_pops",
+    "oracle.query_relaxations",
+    "oracle.streams",
     "parallel.fallbacks",
     "parallel.tasks",
     "runtime.attempts",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro import solve, validate_solution
 from repro.core.instance import MCFSInstance
@@ -60,6 +60,13 @@ def test_property_wma_output_is_always_feasible(seed, m, l, k, cap_hi):
     m=st.integers(1, 8),
     l=st.integers(2, 9),
     k=st.integers(1, 4),
+)
+@example(seed=308, m=4, l=3, k=3).via(
+    # Hilbert's bucketing selected 2 of k=3 facilities with total
+    # capacity 3 < 4 customers; cover_components used to livelock
+    # swapping inside the single component instead of opening the
+    # third candidate.
+    "discovered failure"
 )
 def test_property_heuristics_never_beat_exact(seed, m, l, k):
     """No heuristic may return an objective below the MILP optimum."""
