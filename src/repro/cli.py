@@ -17,9 +17,11 @@ and writes the solution, ``stats`` prints network/instance statistics,
 a paper experiment by id, ``profile`` runs one solver under the
 observability layer (:mod:`repro.obs`), emits a structured metrics/span
 report, and can gate counters against a committed baseline (the CI
-benchmark-smoke job), ``oracle`` builds or inspects the precomputed ALT
-distance oracle (:mod:`repro.network.oracle`; blobs are keyed by network
-fingerprint so CI can cache them across runs), and ``lint`` runs
+benchmark-smoke job), ``oracle`` builds or inspects a precomputed
+distance oracle -- ``--kind alt`` for ALT landmarks
+(:mod:`repro.network.oracle`) or ``--kind ch`` for the
+contraction-hierarchy tier (:mod:`repro.network.ch`); blobs are keyed
+by network fingerprint so CI can cache them across runs -- and ``lint`` runs
 reprolint, the repo-specific
 static-analysis pass (:mod:`repro.analysis`; rule catalogue in
 ``docs/dev.md``).
@@ -175,15 +177,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_WORKERS env var, else serial)",
     )
     prof.add_argument(
-        "--oracle", choices=("alt", "off"), default=None,
-        help="ALT distance oracle: 'alt' enables, 'off' disables "
-        "(default: REPRO_ORACLE env var); oracle.* counters appear in "
+        "--oracle", choices=("alt", "ch", "off"), default=None,
+        help="distance oracle: 'alt' (landmarks) or 'ch' (contraction "
+        "hierarchy) enables that kind, 'off' disables (default: "
+        "REPRO_ORACLE env var); oracle.* and ch.* counters appear in "
         "the report either way",
     )
 
     orc = sub.add_parser(
         "oracle",
-        help="build or inspect the precomputed ALT distance oracle",
+        help="build or inspect a precomputed distance oracle (ALT or CH)",
     )
     orc_sub = orc.add_subparsers(dest="oracle_command", required=True)
     for name, help_text in (
@@ -196,8 +199,13 @@ def _build_parser() -> argparse.ArgumentParser:
             help="instance .npz path (omitted: generate a synthetic one)",
         )
         sp.add_argument(
-            "--kind", choices=("uniform", "clustered"), default="uniform",
-            help="synthetic kind when no instance file is given",
+            "--kind", choices=("alt", "ch"), default="alt",
+            help="oracle kind: ALT landmarks or contraction hierarchy",
+        )
+        sp.add_argument(
+            "--instance-kind", choices=("uniform", "clustered"),
+            default="uniform",
+            help="synthetic instance kind when no instance file is given",
         )
         sp.add_argument(
             "--n", type=int, default=256, help="synthetic network size"
@@ -207,11 +215,11 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         sp.add_argument(
             "--landmarks", type=int, default=None,
-            help="landmark count (default 16)",
+            help="landmark count (ALT kind only; default 16)",
         )
         sp.add_argument(
             "--oracle-seed", type=int, default=0,
-            help="seed for the farthest-point landmark sweep",
+            help="seed for the farthest-point landmark sweep (ALT kind only)",
         )
         sp.add_argument(
             "--cache-dir", default=None,
@@ -433,9 +441,11 @@ def _load_or_generate(args: argparse.Namespace):
         return load_instance(args.instance)
     from repro.datagen.instances import clustered_instance, uniform_instance
 
-    factory = (
-        uniform_instance if args.kind == "uniform" else clustered_instance
-    )
+    # The oracle subcommands repurpose --kind for the oracle kind and
+    # carry the synthetic flavour in --instance-kind; profile has only
+    # --kind.
+    kind = getattr(args, "instance_kind", None) or args.kind
+    factory = uniform_instance if kind == "uniform" else clustered_instance
     return factory(args.n, seed=args.seed)
 
 
@@ -446,7 +456,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import check_against_baseline, profile_solver
 
     instance = _load_or_generate(args)
-    oracle = {"alt": "alt", "off": False, None: None}[args.oracle]
+    oracle = {"alt": "alt", "ch": "ch", "off": False, None: None}[args.oracle]
     trace = tracing.Trace()
     report = profile_solver(
         instance, args.method, trace=trace, workers=args.workers,
@@ -488,6 +498,7 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     import json
     import os
 
+    from repro.network import ch as ch_mod
     from repro.network import oracle as oracle_mod
 
     instance = _load_or_generate(args)
@@ -497,37 +508,54 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         or os.environ.get(oracle_mod.ORACLE_DIR_ENV_VAR)
         or ".oracle-cache"
     )
-    n_landmarks = (
-        args.landmarks
-        if args.landmarks is not None
-        else oracle_mod.DEFAULT_LANDMARKS
-    )
-    path = oracle_mod.cache_path(
-        cache_dir, network, n_landmarks=n_landmarks, seed=args.oracle_seed
-    )
+    if args.kind == "ch":
+        path = ch_mod.cache_path(cache_dir, network)
+
+        def _load():
+            return ch_mod.ContractionHierarchy.load(path, network)
+
+        def _build():
+            return ch_mod.ContractionHierarchy.build(network)
+
+        def _describe(oracle):
+            return f"{oracle.n_shortcuts} shortcuts, {network.n_nodes} nodes"
+
+    else:
+        n_landmarks = (
+            args.landmarks
+            if args.landmarks is not None
+            else oracle_mod.DEFAULT_LANDMARKS
+        )
+        path = oracle_mod.cache_path(
+            cache_dir, network, n_landmarks=n_landmarks, seed=args.oracle_seed
+        )
+
+        def _load():
+            return oracle_mod.AltOracle.load(path, network)
+
+        def _build():
+            return oracle_mod.AltOracle.build(
+                network, n_landmarks=n_landmarks, seed=args.oracle_seed
+            )
+
+        def _describe(oracle):
+            return f"{oracle.n_landmarks} landmarks, {network.n_nodes} nodes"
 
     if args.oracle_command == "build":
-        cached = oracle_mod.AltOracle.load(path, network)
+        cached = _load()
         if cached is not None:
             print(f"up to date: {path}")
             return 0
-        oracle = oracle_mod.AltOracle.build(
-            network, n_landmarks=n_landmarks, seed=args.oracle_seed
-        )
+        oracle = _build()
         oracle.save(path)
-        print(
-            f"wrote {path} ({oracle.n_landmarks} landmarks, "
-            f"{network.n_nodes} nodes)"
-        )
+        print(f"wrote {path} ({_describe(oracle)})")
         return 0
 
     # info: load the blob when present, else describe an in-memory build.
-    oracle = oracle_mod.AltOracle.load(path, network)
+    oracle = _load()
     cached = oracle is not None
     if oracle is None:
-        oracle = oracle_mod.AltOracle.build(
-            network, n_landmarks=n_landmarks, seed=args.oracle_seed
-        )
+        oracle = _build()
     doc = oracle.info()
     doc["cached"] = cached
     doc["cache_path"] = path

@@ -246,7 +246,11 @@ class Network:
 
         Call before handing this network to concurrent readers -- worker
         pools, shared caches -- so no read path performs a first-touch
-        write on a shared instance (reprolint REP103).
+        write on a shared instance (reprolint REP103).  Oracle tiers
+        bound to a network follow the same pattern
+        (:meth:`repro.network.ch.ContractionHierarchy.materialize_caches`);
+        :class:`~repro.network.parallel.ParallelDistanceEngine` calls
+        both before forking its pool.
         """
         _ = self.csr_lists
         _ = self.fingerprint

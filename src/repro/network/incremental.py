@@ -155,7 +155,7 @@ class StreamCursor:
     """
 
     def __init__(
-        self, stream: NearestFacilityStream | _oracle.OracleFacilityStream
+        self, stream: NearestFacilityStream | _oracle.FacilityStream
     ) -> None:
         self._stream = stream
         self._rank = 0
@@ -232,18 +232,18 @@ class StreamPool:
     early -- so streams are created on first use.  Customers co-located on
     one node share the Dijkstra but advance independent cursors.
 
-    When an ALT oracle scope matching the network is active at
-    construction (:func:`repro.network.oracle.active_for`), the pool
-    creates :class:`~repro.network.oracle.OracleFacilityStream` objects
-    instead of kernel streams; emitted ``(facility, distance)`` pairs
-    are bit-identical either way.
+    When an oracle scope matching the network is active at construction
+    (:func:`repro.network.oracle.active_for`), the pool asks the oracle
+    for its streams instead (``make_stream``, implemented by both the
+    ALT and contraction-hierarchy kinds); emitted
+    ``(facility, distance)`` pairs are bit-identical either way.
     """
 
     def __init__(self, network: Network, facility_nodes: Iterable[int]) -> None:
         self._network = network
         self._facility_nodes = tuple(int(f) for f in facility_nodes)
         self._streams: dict[
-            int, NearestFacilityStream | _oracle.OracleFacilityStream
+            int, NearestFacilityStream | _oracle.FacilityStream
         ] = {}
         self._oracle = _oracle.active_for(network)
         if self._oracle is not None:
@@ -261,13 +261,13 @@ class StreamPool:
 
     def stream_for(
         self, node: int
-    ) -> NearestFacilityStream | _oracle.OracleFacilityStream:
+    ) -> NearestFacilityStream | _oracle.FacilityStream:
         """Return (creating if needed) the shared stream rooted at ``node``."""
         stream = self._streams.get(node)
         if stream is None:
             if self._oracle is not None:
-                stream = _oracle.OracleFacilityStream(
-                    self._oracle, node, self._facility_nodes
+                stream = self._oracle.make_stream(
+                    node, self._facility_nodes
                 )
             else:
                 stream = NearestFacilityStream(

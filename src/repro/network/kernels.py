@@ -317,6 +317,18 @@ def many_source_lengths(
     ``(len(source_groups), n_nodes)``.  All runs reuse one
     :class:`DijkstraWorkspace`, so per-run cost excludes allocation.
     """
+    if targets is not None and workspace is None:
+        # Function-local import: oracle imports this module through
+        # landmarks, so an eager import here would be a cycle.  Only the
+        # CH kind carries the bucket primitive; its block entries are
+        # bit-identical to the kernel loop below.
+        from repro.network import oracle as _oracle
+
+        hierarchy = _oracle.active_ch_for(network)
+        if hierarchy is not None:
+            return hierarchy.distance_block(
+                source_groups, [int(t) for t in targets], radius=radius
+            )
     ws = workspace if workspace is not None else workspace_for(network)
     n_groups = len(source_groups)
     if targets is not None:

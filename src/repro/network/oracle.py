@@ -35,6 +35,19 @@ a rebuild (:func:`load_or_build`).  The active-scope pattern
 (:func:`use` / :func:`active`) mirrors :mod:`repro.network.distcache`;
 the ``oracle=`` solver option and the ``REPRO_ORACLE`` environment
 variable (:func:`resolve`) install a scope around each solve.
+
+ALT is one of two oracle *kinds* sharing this activation machinery: the
+contraction-hierarchy tier
+(:class:`~repro.network.ch.ContractionHierarchy`, ``REPRO_ORACLE=ch``)
+answers the same point-to-point queries bidirectionally and adds a
+many-to-many bucket primitive beneath whole ``distance_matrix`` blocks.
+Both kinds satisfy the duck-typed oracle protocol consumed here and in
+:mod:`repro.network.incremental`: ``matches`` / ``bind`` /
+``query(u, v)`` / ``make_stream(source, facilities)`` / ``info()``,
+with bit-identical distances either way.  Prefer ``ch`` when the
+workload is matrix-shaped (its buckets amortize across targets), ``alt``
+when it is scattered point-to-point queries over a network too large to
+contract comfortably.
 """
 
 from __future__ import annotations
@@ -50,6 +63,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import GraphError
+from repro.network import ch as _ch
 from repro.network.graph import Network
 from repro.network.landmarks import select_landmarks
 from repro.obs import metrics
@@ -212,6 +226,7 @@ class AltOracle:
         """JSON-ready summary (the ``repro oracle info`` payload)."""
         return {
             "format_version": ALT_FORMAT_VERSION,
+            "kind": "alt",
             "fingerprint": self._fingerprint,
             "n_nodes": self._n_nodes,
             "directed": self._directed,
@@ -341,6 +356,17 @@ class AltOracle:
         finally:
             c_pops.add(pops)
             c_relax.add(relaxations)
+
+    def make_stream(
+        self, source: int, facility_nodes: Iterable[int]
+    ) -> OracleFacilityStream:
+        """A nearest-facility stream rooted at ``source`` (pool protocol).
+
+        Both oracle kinds expose this constructor so
+        :class:`~repro.network.incremental.StreamPool` can stay agnostic
+        about which one is active.
+        """
+        return OracleFacilityStream(self, source, facility_nodes)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -551,24 +577,36 @@ class OracleFacilityStream:
 # ----------------------------------------------------------------------
 # Active-scope management (mirrors repro.network.distcache)
 # ----------------------------------------------------------------------
-_active: AltOracle | None = None
+#: Either oracle kind; both satisfy the duck-typed protocol
+#: (``matches``/``bind``/``query``/``make_stream``/``info``).
+DistanceOracle = AltOracle | _ch.ContractionHierarchy
 
-#: Default oracles memoized per live network (dropped with the network).
-_DEFAULT_ORACLES: weakref.WeakKeyDictionary[Network, AltOracle] = (
-    weakref.WeakKeyDictionary()
-)
+#: Facility streams the kinds hand to :class:`StreamPool` cursors.
+FacilityStream = OracleFacilityStream | _ch.CHFacilityStream
 
-_ENABLE_VALUES = frozenset({"alt", "on", "1", "true"})
+#: Recognized oracle kinds, in CLI/env spelling.
+ORACLE_KINDS = ("alt", "ch")
+
+_active: DistanceOracle | None = None
+
+#: Default oracles memoized per live network and kind (dropped with the
+#: network).
+_DEFAULT_ORACLES: weakref.WeakKeyDictionary[
+    Network, dict[str, DistanceOracle]
+] = weakref.WeakKeyDictionary()
+
+_ALT_VALUES = frozenset({"alt", "on", "1", "true"})
+_CH_VALUES = frozenset({"ch"})
 _DISABLE_VALUES = frozenset({"", "0", "off", "none", "false"})
 
 
-def active() -> AltOracle | None:
+def active() -> DistanceOracle | None:
     """The oracle installed by the innermost :func:`use` scope, if any."""
     return _active
 
 
-def active_for(network: Network) -> AltOracle | None:
-    """The active oracle, but only when it matches ``network``.
+def active_for(network: Network) -> DistanceOracle | None:
+    """The active oracle (either kind), but only when it matches ``network``.
 
     Stream pools consult this at construction: an oracle built for a
     different adjacency must never serve bounds for this one.
@@ -579,13 +617,30 @@ def active_for(network: Network) -> AltOracle | None:
     return None
 
 
+def active_ch_for(network: Network) -> _ch.ContractionHierarchy | None:
+    """The active oracle when it is a hierarchy matching ``network``.
+
+    The kernel matrix hook consults this: only the CH kind carries the
+    many-to-many bucket primitive, so an active ALT oracle (or a
+    mismatched hierarchy) leaves ``many_source_lengths`` on the kernel
+    path.
+    """
+    oracle = _active
+    if isinstance(oracle, _ch.ContractionHierarchy) and oracle.matches(
+        network
+    ):
+        return oracle.bind(network)
+    return None
+
+
 @contextmanager
-def use(oracle: AltOracle) -> Iterator[AltOracle]:
+def use(oracle: DistanceOracle) -> Iterator[DistanceOracle]:
     """Make ``oracle`` the active distance oracle within the block.
 
     Scopes nest; the previous oracle is restored on exit.  Entering a
-    scope primes the ``oracle.*`` counters in the active metrics
-    registry so reports carry the vocabulary even for all-zero runs.
+    scope primes the ``oracle.*`` and ``ch.*`` counters in the active
+    metrics registry so reports carry the vocabulary even for all-zero
+    runs.
     """
     global _active
     previous = _active
@@ -598,11 +653,12 @@ def use(oracle: AltOracle) -> Iterator[AltOracle]:
 
 
 def prime_counters(registry: metrics.Registry) -> None:
-    """Materialize every ``oracle.*`` counter in ``registry`` at zero.
+    """Materialize every oracle-tier counter in ``registry`` at zero.
 
     The CI counter gate treats a baselined counter missing from a report
     as a violation, so kernel-path profiles must still export the oracle
-    vocabulary (as zeros).
+    vocabulary (as zeros) -- including the ``ch.*`` names, which only the
+    hierarchy kind ever bumps.
     """
     registry.counter(COUNTER_BUILDS)
     registry.counter(COUNTER_CACHE_HITS)
@@ -612,35 +668,54 @@ def prime_counters(registry: metrics.Registry) -> None:
     registry.counter(COUNTER_QUERY_RELAXATIONS)
     registry.counter(COUNTER_STREAMS)
     registry.counter(COUNTER_PRUNES)
+    registry.counter("ch.shortcuts")
+    registry.counter("ch.upward_settles")
+    registry.counter("ch.bucket_scans")
+    registry.counter("ch.matrix_blocks")
 
 
-def default_oracle(network: Network) -> AltOracle:
-    """The memoized default-parameter oracle of ``network``.
+def default_oracle(network: Network, kind: str = "alt") -> DistanceOracle:
+    """The memoized default-parameter oracle of ``network`` for ``kind``.
 
     Honors :data:`ORACLE_DIR_ENV_VAR` for persistence; without it the
-    oracle lives only as long as the network object does.
+    oracle lives only as long as the network object does.  Each kind is
+    built and memoized independently.
     """
-    oracle = _DEFAULT_ORACLES.get(network)
+    per_kind = _DEFAULT_ORACLES.get(network)
+    if per_kind is None:
+        per_kind = {}
+        _DEFAULT_ORACLES[network] = per_kind
+    oracle = per_kind.get(kind)
     if oracle is None:
         cache_dir = os.environ.get(ORACLE_DIR_ENV_VAR) or None
-        oracle = load_or_build(network, cache_dir)
-        _DEFAULT_ORACLES[network] = oracle
+        if kind == "ch":
+            oracle = _ch.load_or_build(network, cache_dir)
+        elif kind == "alt":
+            oracle = load_or_build(network, cache_dir)
+        else:
+            raise GraphError(
+                f"unknown oracle kind {kind!r}; expected one of "
+                f"{', '.join(ORACLE_KINDS)}"
+            )
+        per_kind[kind] = oracle
     return oracle
 
 
-def resolve(value: Any, network: Network | None) -> AltOracle | None:
+def resolve(value: Any, network: Network | None) -> DistanceOracle | None:
     """Map an ``oracle=`` option value onto an oracle instance (or None).
 
     ``None`` consults :data:`ORACLE_ENV_VAR`; ``False``/``"off"``-style
     values disable; ``True``/``"alt"``-style values enable the default
-    oracle for ``network``; an :class:`AltOracle` is used as-is after a
-    fingerprint check.  Unrecognized values raise :class:`GraphError`.
+    ALT oracle for ``network`` and ``"ch"`` the default contraction
+    hierarchy; an :class:`AltOracle` or
+    :class:`~repro.network.ch.ContractionHierarchy` is used as-is after
+    a fingerprint check.  Unrecognized values raise :class:`GraphError`.
     """
     if value is None:
         value = os.environ.get(ORACLE_ENV_VAR, "")
     if value is False:
         return None
-    if isinstance(value, AltOracle):
+    if isinstance(value, (AltOracle, _ch.ContractionHierarchy)):
         if network is not None:
             return value.bind(network)
         return value
@@ -650,11 +725,15 @@ def resolve(value: Any, network: Network | None) -> AltOracle | None:
         lowered = value.strip().lower()
         if lowered in _DISABLE_VALUES:
             return None
-        if lowered in _ENABLE_VALUES:
+        if lowered in _ALT_VALUES:
             if network is None:
                 return None
-            return default_oracle(network)
+            return default_oracle(network, "alt")
+        if lowered in _CH_VALUES:
+            if network is None:
+                return None
+            return default_oracle(network, "ch")
     raise GraphError(
         f"unrecognized oracle setting {value!r}; expected an AltOracle, "
-        f"True/False, 'alt', or 'off'"
+        f"a ContractionHierarchy, True/False, 'alt', 'ch', or 'off'"
     )

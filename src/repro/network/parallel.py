@@ -16,7 +16,12 @@ calls never pay pool start-up.
 
 Worker runs execute the same kernel as the serial path over the same
 float64 CSR data, so parallel distances are bit-identical to serial
-ones.  Workers record their ``dijkstra.*`` counters into a private
+ones.  When a contraction-hierarchy oracle scope is active at pool
+start-up (:func:`repro.network.oracle.active_ch_for`), the hierarchy is
+materialized pre-fork and shipped to every worker, whose distance
+chunks then run the many-to-many bucket path of
+:meth:`~repro.network.ch.ContractionHierarchy.distance_block` -- still
+bit-identical.  Workers record their ``dijkstra.*`` counters into a private
 registry that is shipped back and merged into the caller's active
 registry, keeping observability totals independent of the worker count;
 the engine additionally counts ``parallel.tasks`` and
@@ -41,6 +46,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.network import ch as _chmod
+from repro.network import oracle as _oracle
 from repro.network.graph import Network
 from repro.network.kernels import DijkstraWorkspace, many_source_lengths
 from repro.obs import metrics
@@ -80,16 +87,26 @@ def resolve_workers(workers: int | None = None) -> int:
 # Worker-process side
 # ----------------------------------------------------------------------
 _worker_workspace: DijkstraWorkspace | None = None
+_worker_ch: _chmod.ContractionHierarchy | None = None
 
 
 def _attach_worker(
-    specs: Sequence[_ShmSpec], n_nodes: int, untrack: bool
+    specs: Sequence[_ShmSpec],
+    n_nodes: int,
+    untrack: bool,
+    hierarchy: _chmod.ContractionHierarchy | None = None,
 ) -> None:
     """Pool initializer: attach the shared CSR blocks, build a workspace.
 
     The CSR data is converted to Python lists once (the kernel's fast
     representation); the shared blocks are then closed immediately, so
     each worker holds exactly one private copy of the adjacency.
+
+    ``hierarchy`` ships the contraction hierarchy that was active in the
+    parent at pool start-up (pre-materialized there, so fork-started
+    workers inherit the CSR halves copy-on-write and never first-touch
+    shared state); worker chunks then run the many-to-many bucket path
+    instead of raw kernel Dijkstras.
 
     ``untrack`` handles the resource-tracker split: the parent owns the
     segments and unlinks them on engine close.  Spawn-started workers run
@@ -98,7 +115,8 @@ def _attach_worker(
     workers *share* the parent's tracker, where unregistering would
     remove the parent's own entry.
     """
-    global _worker_workspace
+    global _worker_workspace, _worker_ch
+    _worker_ch = hierarchy
     arrays = []
     blocks = []
     for name, shape, dtype in specs:
@@ -124,11 +142,17 @@ def _attach_worker(
 def _worker_distance_chunk(
     job: tuple[list[int], list[int], float],
 ) -> tuple[np.ndarray, dict[str, float]]:
-    """Run one early-exit Dijkstra per source of the chunk."""
+    """Run one chunk: bucket sweeps under a shipped CH, else Dijkstras."""
     sources, targets, radius = job
     ws = _worker_workspace
     assert ws is not None, "worker used before initialization"
     registry = metrics.Registry()
+    if _worker_ch is not None:
+        with metrics.use(registry):
+            rows = _worker_ch.distance_block(
+                [[s] for s in sources], targets, radius=radius
+            )
+        return rows, registry.as_dict()
     target_set = set(targets)
     rows = np.empty((len(sources), len(targets)), dtype=np.float64)
     with metrics.use(registry):
@@ -225,6 +249,14 @@ class ParallelDistanceEngine:
         # Fill the network's lazy memo fields before forking so workers
         # (and concurrent cache readers) never first-touch shared state.
         self.network.materialize_caches()
+        # Ship the active contraction hierarchy (if any) to the workers,
+        # pre-materialized for the same no-first-touch reason.  The pool
+        # snapshots the oracle at start-up: a scope entered *after* the
+        # first parallel call keeps workers on the kernel path, which is
+        # bit-identical anyway.
+        hierarchy = _oracle.active_ch_for(self.network)
+        if hierarchy is not None:
+            hierarchy.materialize_caches()
         specs: list[_ShmSpec] = []
         for arr in self.network.csr:
             shm = shared_memory.SharedMemory(
@@ -244,6 +276,7 @@ class ParallelDistanceEngine:
                 tuple(specs),
                 self.network.n_nodes,
                 start_method != "fork",
+                hierarchy,
             ),
         )
 

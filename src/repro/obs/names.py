@@ -55,6 +55,11 @@ COUNTERS = frozenset(
         "oracle.query_relaxations",
         "oracle.streams",
         "oracle.prunes",
+        # -- network.ch (contraction-hierarchy oracle tier) ------------
+        "ch.shortcuts",
+        "ch.upward_settles",
+        "ch.bucket_scans",
+        "ch.matrix_blocks",
         # -- flow.sspa (successive shortest-path augmentation) ---------
         "sspa.dijkstra_runs",
         "sspa.pops",

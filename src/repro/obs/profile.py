@@ -16,8 +16,9 @@ counter                          meaning
 ``sspa.augmentations``           FindPair augmenting paths applied
 ``sspa.dijkstra_runs/pops``      residual-graph Dijkstra work
 ``set_cover.checks/heap_pops``   CheckCover invocations and lazy-heap pops
-``oracle.queries/query_pops``    ALT oracle A* work (zero on the kernel path)
+``oracle.queries/query_pops``    oracle point-to-point work (zero on the kernel path)
 ``oracle.prunes``                SSPA stops certified by oracle lower bounds
+``ch.upward_settles/...``        contraction-hierarchy sweep work (``ch`` kind)
 ``bipartite.peak_edges``         peak ``G_b`` size (gauge)
 ===============================  =============================================
 
@@ -119,11 +120,13 @@ def profile_solver(
         scope so ``distcache.*`` counters appear in the report (all
         zeros when the solver never consults the cache).
     oracle:
-        ALT oracle control forwarded to the solver (universal option;
-        see :func:`repro.network.oracle.resolve`).  ``None`` defers to
-        the ``REPRO_ORACLE`` environment variable.  The ``oracle.*``
-        counters are always primed in the report -- all zeros on the
-        kernel path -- so dijkstra and oracle work read off one table.
+        Distance-oracle control forwarded to the solver (universal
+        option; see :func:`repro.network.oracle.resolve`; ``"alt"`` or
+        ``"ch"`` picks the kind).  ``None`` defers to the
+        ``REPRO_ORACLE`` environment variable.  The ``oracle.*`` and
+        ``ch.*`` counters are always primed in the report -- all zeros
+        on the kernel path -- so dijkstra and oracle work read off one
+        table.
     solver_kwargs:
         Forwarded to the solver (``seed``, ``time_limit``, ...).
     """

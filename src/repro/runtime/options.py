@@ -78,14 +78,17 @@ class SolverOptions:
         :class:`~repro.network.distcache.DistanceCache` scope; an
         existing cache instance is used as-is (shared across calls).
     oracle:
-        ALT distance-oracle control (:mod:`repro.network.oracle`):
-        ``True`` or ``"alt"`` solves under the instance network's
-        default oracle (built or loaded once per network), an
-        :class:`~repro.network.oracle.AltOracle` instance is used as-is
-        after a fingerprint check, ``False``/``"off"`` disables, and the
-        default ``None`` defers to the ``REPRO_ORACLE`` environment
-        variable.  Oracle-served distances are bit-identical to kernel
-        Dijkstra runs, so objectives never depend on this knob.
+        Distance-oracle control (:mod:`repro.network.oracle`): ``True``
+        or ``"alt"`` solves under the instance network's default ALT
+        oracle and ``"ch"`` under its default contraction hierarchy
+        (each built or loaded once per network), an
+        :class:`~repro.network.oracle.AltOracle` or
+        :class:`~repro.network.ch.ContractionHierarchy` instance is
+        used as-is after a fingerprint check, ``False``/``"off"``
+        disables, and the default ``None`` defers to the
+        ``REPRO_ORACLE`` environment variable (``alt|ch|off``).
+        Oracle-served distances are bit-identical to kernel Dijkstra
+        runs, so objectives never depend on this knob.
     extras:
         Solver-specific options (e.g. ``tie_breaking`` for WMA,
         ``mip_gap`` for exact, ``pool_size`` for ``kmedian-ls``).  Keys
@@ -236,8 +239,8 @@ def option_scopes(
     ``time_limit`` installs a cooperative :class:`Budget` (clamped to any
     enclosing budget); ``distance_cache`` installs a distance-cache
     scope; ``oracle`` (resolved against ``instance.network``, including
-    the ``REPRO_ORACLE`` environment default) installs an ALT-oracle
-    scope.  All are no-ops when unset.
+    the ``REPRO_ORACLE`` environment default) installs a distance-oracle
+    scope of the resolved kind.  All are no-ops when unset.
     """
     with ExitStack() as stack:
         if opts.time_limit is not None:

@@ -169,7 +169,7 @@ class TestOracleCommand:
     def test_build_then_up_to_date(self, tmp_path, capsys):
         cache = str(tmp_path / "blobs")
         argv = [
-            "oracle", "build", "--kind", "uniform", "--n", "64",
+            "oracle", "build", "--instance-kind", "uniform", "--n", "64",
             "--landmarks", "4", "--cache-dir", cache,
         ]
         assert main(argv) == 0
@@ -192,7 +192,7 @@ class TestOracleCommand:
     def test_info_reports_cache_status(self, tmp_path, capsys):
         cache = str(tmp_path / "blobs")
         base = [
-            "--kind", "uniform", "--n", "64", "--landmarks", "4",
+            "--instance-kind", "uniform", "--n", "64", "--landmarks", "4",
             "--cache-dir", cache,
         ]
         assert main(["oracle", "info", *base]) == 0
@@ -206,10 +206,30 @@ class TestOracleCommand:
         assert doc["cached"] is True
         assert doc["cache_path"].startswith(cache)
 
+    def test_build_and_info_ch_kind(self, tmp_path, capsys):
+        cache = str(tmp_path / "blobs")
+        base = [
+            "--kind", "ch", "--instance-kind", "uniform", "--n", "64",
+            "--cache-dir", cache,
+        ]
+        assert main(["oracle", "build", *base]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "shortcuts" in out
+        assert main(["oracle", "build", *base]) == 0
+        assert "up to date" in capsys.readouterr().out
+        assert main(["oracle", "info", *base]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "ch"
+        assert doc["cached"] is True
+        assert doc["n_shortcuts"] >= 0
+        assert doc["avg_upward_degree"] > 0
+        assert doc["blob_bytes"] > 0
+
     def test_info_writes_output_file(self, tmp_path, capsys):
         out = str(tmp_path / "info.json")
         code = main(
-            ["oracle", "info", "--kind", "uniform", "--n", "64",
+            ["oracle", "info", "--instance-kind", "uniform", "--n", "64",
              "--landmarks", "2", "--cache-dir", str(tmp_path / "b"),
              "-o", out]
         )
@@ -234,3 +254,18 @@ class TestProfileOracleFlag:
         assert alt["objective"] == off["objective"]
         assert alt["metrics"]["oracle.queries"] > 0
         assert off["metrics"]["oracle.queries"] == 0
+
+    def test_profile_oracle_ch_matches_kernel(self, tmp_path):
+        base = [
+            "profile", "--kind", "uniform", "--n", "64", "--seed", "1",
+            "--method", "wma",
+        ]
+        ch_path = tmp_path / "ch.json"
+        off_path = tmp_path / "off.json"
+        assert main(base + ["--oracle", "ch", "-o", str(ch_path)]) == 0
+        assert main(base + ["--oracle", "off", "-o", str(off_path)]) == 0
+        ch = json.loads(ch_path.read_text())
+        off = json.loads(off_path.read_text())
+        assert ch["objective"] == off["objective"]
+        assert ch["metrics"]["ch.upward_settles"] > 0
+        assert off["metrics"]["ch.upward_settles"] == 0

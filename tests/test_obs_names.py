@@ -21,6 +21,10 @@ SMOKE_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "smoke.json"
 #: this list AND src/repro/obs/names.py in the same change; removing one
 #: means the call sites are gone too (REP001 enforces both directions).
 GOLDEN_COUNTERS = [
+    "ch.bucket_scans",
+    "ch.matrix_blocks",
+    "ch.shortcuts",
+    "ch.upward_settles",
     "dijkstra.kernel_runs",
     "dijkstra.pops",
     "dijkstra.relaxations",

@@ -16,6 +16,7 @@ import pytest
 from repro.baselines.brnn import solve_brnn
 from repro.baselines.exact import solve_exact
 from repro.baselines.kmedian_ls import solve_kmedian_ls
+from repro.network import ch, oracle
 from repro.network.dijkstra import distance_matrix, multi_source_lengths
 from repro.network.parallel import (
     MIN_PARALLEL_SOURCES,
@@ -153,6 +154,39 @@ class TestParallelEqualsSerial:
             multi_source_lengths(network, sources).dist,
             multi_source_lengths(network, sources, workers=2).dist,
         )
+
+
+class TestParallelUnderCHOracle:
+    """Workers must ride the pre-forked hierarchy, bit-identically."""
+
+    def test_distance_matrix_bit_identical_and_bucketed(self):
+        network = build_random_network(60, seed=1)
+        hierarchy = ch.ContractionHierarchy.build(network)
+        sources = list(range(0, 60, 3))
+        targets = list(range(1, 60, 7))
+        serial = distance_matrix(network, sources, targets)
+        reg = metrics.Registry()
+        with oracle.use(hierarchy), ParallelDistanceEngine(
+            network, 2, min_sources=1, min_work=1
+        ) as engine:
+            with metrics.use(reg):
+                fanned = engine.distance_matrix(sources, targets)
+        assert np.array_equal(serial, fanned)
+        counts = reg.as_dict()
+        # Worker chunks ran the bucket path: merged ch.* counters are
+        # nonzero and no kernel Dijkstra ever ran.
+        assert counts["ch.upward_settles"] > 0
+        assert counts.get("dijkstra.kernel_runs", 0) == 0
+        assert counts["parallel.tasks"] >= 1
+
+    def test_solver_objective_identical_under_ch_workers(self):
+        inst = build_random_instance(6, cap_range=(3, 6))
+        serial = solve_brnn(inst)
+        hierarchy = ch.ContractionHierarchy.build(inst.network)
+        with oracle.use(hierarchy):
+            fanned = solve_brnn(inst, workers=2)
+        assert fanned.objective == serial.objective
+        assert fanned.selected == serial.selected
 
 
 class TestSolverObjectivesUnderWorkers:
