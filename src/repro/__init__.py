@@ -57,6 +57,14 @@ from repro.errors import (
 )
 from repro.network import Network
 from repro.runtime import SolverOptions
+from repro.serve import (
+    CapacityChange,
+    CustomerArrive,
+    CustomerDepart,
+    EdgeRetime,
+    ServeEngine,
+    ServeResult,
+)
 
 __version__ = "1.0.0"
 
@@ -144,6 +152,12 @@ __all__ = [
     "solve_wma_refined",
     "refine_solution",
     "DynamicAllocator",
+    "ServeEngine",
+    "ServeResult",
+    "CustomerArrive",
+    "CustomerDepart",
+    "CapacityChange",
+    "EdgeRetime",
     "solve_hilbert",
     "solve_brnn",
     "solve_kmedian_ls",

@@ -48,6 +48,7 @@ LAYER_RANKS: tuple[tuple[str, int], ...] = (
     ("baselines", 6),
     ("datagen", 6),
     ("io", 6),
+    ("serve", 6),
     ("", 8),  # the root package __init__ assembles everything
     ("__main__", 9),
     ("bench", 9),

@@ -515,7 +515,7 @@ class BudgetReachabilityRule(Rule):
     reaches :func:`repro.runtime.budget.checkpoint` cannot be
     interrupted, so one such loop defeats every ``--deadline`` above it.
     The rule flags functions in the hot-path modules (``network/``,
-    ``flow/``, ``core/wma.py``) that run data-dependent loops
+    ``flow/``, ``serve/``, ``core/wma.py``) that run data-dependent loops
     (``while``, or ``for`` over anything but a literal/constant-range
     iterable) with no checkpoint on any path.  A function is compliant
     if
@@ -544,7 +544,7 @@ class BudgetReachabilityRule(Rule):
         "construction-time loops"
     )
 
-    HOT_PREFIXES = ("network/", "flow/")
+    HOT_PREFIXES = ("network/", "flow/", "serve/")
     HOT_FILES = {"core/wma.py"}
     _BOUNDED_CALLS = {"range", "enumerate", "zip", "reversed"}
 

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro bench --experiment fig6a
     python -m repro profile --kind uniform --n 256 --seed 0 -o report.json
     python -m repro oracle build --kind uniform --n 256 --seed 0
+    python -m repro serve instance.npz --trace trace.jsonl --batch 64
     python -m repro lint --format json
 
 ``generate`` builds a synthetic instance file, ``solve`` runs one solver
@@ -21,8 +22,11 @@ benchmark-smoke job), ``oracle`` builds or inspects a precomputed
 distance oracle -- ``--kind alt`` for ALT landmarks
 (:mod:`repro.network.oracle`) or ``--kind ch`` for the
 contraction-hierarchy tier (:mod:`repro.network.ch`); blobs are keyed
-by network fingerprint so CI can cache them across runs -- and ``lint`` runs
-reprolint, the repo-specific
+by network fingerprint so CI can cache them across runs -- ``serve``
+replays (or synthesizes) a mutation trace through the online serving
+engine (:mod:`repro.serve`), reporting throughput, staleness, and the
+``serve.*`` counters, optionally gated against a committed baseline --
+and ``lint`` runs reprolint, the repo-specific
 static-analysis pass (:mod:`repro.analysis`; rule catalogue in
 ``docs/dev.md``).
 """
@@ -231,6 +235,79 @@ def _build_parser() -> argparse.ArgumentParser:
                 "-o", "--output", default=None,
                 help="info JSON path (default: stdout)",
             )
+
+    srv = sub.add_parser(
+        "serve",
+        help="replay a mutation trace through the online serving engine",
+    )
+    srv.add_argument(
+        "instance", nargs="?", default=None,
+        help="instance .npz path (omitted: generate a synthetic one)",
+    )
+    srv.add_argument(
+        "--kind", choices=("uniform", "clustered"), default="uniform",
+        help="synthetic kind when no instance file is given",
+    )
+    srv.add_argument("--n", type=int, default=256, help="synthetic network size")
+    srv.add_argument("--seed", type=int, default=0, help="synthetic seed")
+    srv.add_argument(
+        "--method", choices=sorted(SOLVERS), default="wma",
+        help="solver for the initial facility selection",
+    )
+    srv.add_argument(
+        "--trace", default=None,
+        help="mutation trace (JSON-lines); with --synthesize the "
+        "generated trace is written here instead",
+    )
+    srv.add_argument(
+        "--synthesize", type=int, default=None, metavar="N",
+        help="generate an N-mutation workload instead of reading --trace",
+    )
+    srv.add_argument(
+        "--trace-seed", type=int, default=0,
+        help="seed for --synthesize",
+    )
+    srv.add_argument(
+        "--p-depart", type=float, default=0.3,
+        help="departure share of the synthesized mix",
+    )
+    srv.add_argument(
+        "--p-capacity", type=float, default=0.05,
+        help="capacity re-rate share of the synthesized mix",
+    )
+    srv.add_argument(
+        "--p-retime", type=float, default=0.0,
+        help="edge-retime share of the synthesized mix",
+    )
+    srv.add_argument(
+        "--batch", type=int, default=64,
+        help="mutations per engine.apply() batch",
+    )
+    srv.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-batch deadline in seconds (sheds work, stays feasible)",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=None,
+        help="admission bound: mutations beyond this per batch are shed",
+    )
+    srv.add_argument(
+        "--cache", type=int, default=8,
+        help="solution-cache capacity for global re-solves (0 disables)",
+    )
+    srv.add_argument(
+        "-o", "--output", default=None,
+        help="summary JSON path (default: stdout)",
+    )
+    srv.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON (see benchmarks/baselines/); exit 1 when any "
+        "baselined counter regresses beyond tolerance",
+    )
+    srv.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the baseline file's tolerance (fraction, e.g. 0.25)",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -569,6 +646,124 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.obs import metrics
+    from repro.obs.profile import check_against_baseline
+    from repro.serve import (
+        ServeEngine,
+        load_trace,
+        save_trace,
+        synthesize_trace,
+    )
+
+    instance = _load_or_generate(args)
+    solution = solve(instance, method=args.method)
+    selected = solution.selected
+
+    if args.synthesize is not None:
+        mutations = synthesize_trace(
+            instance.network,
+            args.synthesize,
+            facility_nodes=[instance.facility_nodes[j] for j in selected],
+            capacities=[int(instance.capacities[j]) for j in selected],
+            start_handle=len(instance.customers),
+            customer_nodes=[int(c) for c in instance.customers],
+            seed=args.trace_seed,
+            p_depart=args.p_depart,
+            p_capacity=args.p_capacity,
+            p_retime=args.p_retime,
+        )
+        if args.trace:
+            save_trace(args.trace, mutations)
+            print(f"wrote {args.trace} ({len(mutations)} mutations)")
+    elif args.trace:
+        mutations = load_trace(args.trace)
+    else:
+        print("serve: provide --trace PATH or --synthesize N", file=sys.stderr)
+        return 2
+
+    registry = metrics.Registry()
+    staleness_counts = {"optimal": 0, "feasible": 0, "cached": 0}
+    applied = rejected = shed = moves = 0
+    deadline_batches = 0
+    started = time.perf_counter()
+    with metrics.use(registry):
+        engine = ServeEngine(
+            instance,
+            selected,
+            max_batch=args.max_batch,
+            cache=args.cache or None,
+        )
+        batch_size = max(1, args.batch)
+        n_batches = 0
+        for start in range(0, len(mutations), batch_size):
+            result = engine.apply(
+                mutations[start:start + batch_size], deadline=args.deadline
+            )
+            n_batches += 1
+            staleness_counts[result.staleness] += 1
+            applied += result.applied
+            rejected += result.rejected
+            shed += result.shed
+            moves += result.moves
+            deadline_batches += int(result.deadline_exceeded)
+    elapsed = time.perf_counter() - started
+
+    doc = {
+        "method": args.method,
+        "n_mutations": len(mutations),
+        "batch_size": batch_size,
+        "batches": n_batches,
+        "applied": applied,
+        "rejected": rejected,
+        "shed": shed,
+        "moves": moves,
+        "staleness": staleness_counts,
+        "deadline_exceeded_batches": deadline_batches,
+        "final_cost": engine.cost,
+        "n_active": engine.n_active,
+        "elapsed_sec": elapsed,
+        "mutations_per_sec": len(mutations) / elapsed if elapsed > 0 else 0.0,
+        "metrics": registry.as_dict(),
+    }
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(payload)
+    print(
+        f"served {len(mutations)} mutations in {n_batches} batches: "
+        f"{applied} applied, {rejected} rejected, {shed} shed; "
+        f"{doc['mutations_per_sec']:.0f} mut/s, "
+        f"final cost {engine.cost:.2f} ({engine.staleness})"
+    )
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline_doc = json.load(fh)
+        baseline = baseline_doc.get("metrics", baseline_doc)
+        tolerance = args.tolerance
+        if tolerance is None:
+            tolerance = float(baseline_doc.get("tolerance", 0.2))
+        violations = check_against_baseline(
+            doc["metrics"], baseline, tolerance=tolerance
+        )
+        if violations:
+            for line in violations:
+                print(f"BASELINE REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"baseline ok: {len(baseline)} counters within "
+            f"{tolerance:.0%} of {args.baseline}"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lintcli import run_from_args
 
@@ -588,6 +783,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "export": _cmd_export,
         "profile": _cmd_profile,
         "oracle": _cmd_oracle,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

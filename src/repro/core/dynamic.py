@@ -1,25 +1,25 @@
-"""Dynamic customer reallocation on a fixed facility selection.
+"""Dynamic customer reallocation -- the legacy shim over the serve engine.
 
 The paper's introduction motivates MCFS with applications that "may need
 to be solved scalably and repeatedly, as in applications requiring the
-dynamic reallocation of customers to facilities".  This module provides
-that operational layer: once facilities have been selected (by WMA or any
-other solver), a :class:`DynamicAllocator` maintains an *optimal*
-customer-to-facility assignment under customer arrivals and departures.
+dynamic reallocation of customers to facilities".  That operational
+layer now lives in :mod:`repro.serve`: a
+:class:`~repro.serve.engine.ServeEngine` consumes batches of typed
+mutations (``engine.apply([CustomerArrive(node)])``) and keeps the
+assignment optimal with incremental repair, component-scoped re-solves,
+deadlines, and admission control.
 
-* An **arrival** runs one SSPA augmentation (``find_pair``) on the
-  persistent bipartite state, possibly rewiring existing customers.  By
-  the matcher's invariants (Section V), the running assignment stays
-  cost-optimal for the active customer set -- arrivals are incremental
-  and cheap.
-* A **departure** frees one unit of flow.  The remaining flow is feasible
-  but not necessarily optimal, and the matcher's dual invariants do not
-  survive flow *removal*; the allocator therefore rebuilds the optimal
-  assignment with a fresh SSPA pass over the active customers.  The
-  expensive network Dijkstras are shared through the persistent
-  :class:`~repro.network.incremental.StreamPool`, so the rebuild is far
-  cheaper than solving cold.  ``auto_reoptimize=False`` defers this
-  (feasible-but-possibly-suboptimal) until :meth:`reoptimize` is called.
+:class:`DynamicAllocator` remains as the pre-serve API: a thin forwarding
+shim whose :meth:`add_customer`/:meth:`remove_customer` emit
+:class:`DeprecationWarning` and translate to one-mutation batches (the
+same migration pattern ``runtime.options`` used for the PR 3 solver
+kwargs; the call migration table lives in ``docs/api.md``).  Behavior is
+preserved -- including the :class:`AllocationEvent` audit trail, handle
+stability, and ``MatchingError`` on infeasible arrivals -- with one
+improvement the redesign ships: departures now take the engine's cheap
+*component-scoped* repair path instead of an unconditional full SSPA
+rebuild, bit-identical in cost (SSPA augmentations never cross network
+components, so per-component re-solves compose to the full rebuild).
 
 Customer *handles* returned by :meth:`add_customer` stay valid across
 rebuilds.
@@ -27,13 +27,16 @@ rebuilds.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.instance import MCFSInstance
 from repro.errors import InvalidInstanceError, MatchingError
-from repro.flow.bipartite import BipartiteState
-from repro.flow.sspa import find_pair
+
+if TYPE_CHECKING:
+    from repro.serve.engine import ServeEngine
 
 
 @dataclass
@@ -47,8 +50,21 @@ class AllocationEvent:
     reassigned: int  # customers whose facility changed
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"DynamicAllocator.{old} is deprecated; use "
+        f"ServeEngine.apply([{new}]) from repro.serve instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class DynamicAllocator:
     """Maintain a capacity-feasible, optimal assignment under churn.
+
+    Deprecated in favor of :class:`repro.serve.ServeEngine`; this class
+    forwards to an engine underneath and will be removed once callers
+    migrate to the typed mutation API.
 
     Parameters
     ----------
@@ -71,203 +87,128 @@ class DynamicAllocator:
         *,
         auto_reoptimize: bool = True,
     ) -> None:
-        self._instance = instance
-        self._selected = [int(j) for j in selected]
-        if not self._selected:
-            raise InvalidInstanceError("selection must contain facilities")
-        self._sub_nodes = [instance.facility_nodes[j] for j in self._selected]
-        self._sub_caps = [instance.capacities[j] for j in self._selected]
-        self._auto_reoptimize = bool(auto_reoptimize)
+        # Lazy: core ranks below serve in the layering contract.
+        from repro.serve.engine import ServeEngine
 
-        self._state = BipartiteState(
-            instance.network, [], self._sub_nodes, self._sub_caps
+        self._engine: ServeEngine = ServeEngine(
+            instance,
+            selected,
+            auto_repair=auto_reoptimize,
+            seed_customers=False,
         )
-        # handle -> node (None once departed); handle -> state row index.
-        self._node_of_handle: list[int | None] = []
-        self._row_of_handle: dict[int, int] = {}
-        self._handle_of_row: dict[int, int] = {}
         self.events: list[AllocationEvent] = []
         for node in instance.customers:
-            self.add_customer(int(node))
+            self._add(int(node))
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (all forwarded to the engine)
     # ------------------------------------------------------------------
     @property
     def n_active(self) -> int:
         """Number of currently served customers."""
-        return len(self._row_of_handle)
+        return self._engine.n_active
 
     @property
     def cost(self) -> float:
         """Total distance of the current assignment."""
-        return self._state.total_cost()
+        return self._engine.cost
+
+    @property
+    def _node_of_handle(self) -> list[int | None]:
+        # Kept for callers that indexed the old internal handle table.
+        return self._engine._node_of_handle
 
     def facility_of(self, handle: int) -> int:
         """Facility index currently serving the given customer handle."""
-        row = self._row_of_handle.get(handle)
-        if row is None:
-            raise InvalidInstanceError(f"no active customer {handle}")
-        (j_sub,) = self._state.matched[row]
-        return self._selected[j_sub]
+        return self._engine.facility_of(handle)
 
     def assignment(self) -> dict[int, int]:
         """Active handle -> facility index (into the instance)."""
-        return {h: self.facility_of(h) for h in self._row_of_handle}
+        return self._engine.assignment()
 
     def load_per_facility(self) -> dict[int, int]:
         """Facility index -> number of served customers."""
-        return {
-            self._selected[j_sub]: self._state.load(j_sub)
-            for j_sub in range(len(self._selected))
-        }
+        return self._engine.load_per_facility()
 
     def residual_capacity(self) -> int:
         """Total unused capacity across the selection."""
-        return sum(
-            self._state.capacities[j] - self._state.load(j)
-            for j in range(self._state.l)
-        )
+        return self._engine.residual_capacity()
 
     # ------------------------------------------------------------------
-    # Mutations
+    # Mutations (deprecated shims over ServeEngine.apply)
     # ------------------------------------------------------------------
     def add_customer(self, node: int) -> int:
         """Serve a newly arrived customer at ``node``; returns a handle.
+
+        .. deprecated::
+            Use ``engine.apply([CustomerArrive(node)])`` instead.
 
         Raises :class:`MatchingError` (leaving the allocator unchanged)
         when no reachable facility has residual capacity -- the signal to
         re-run facility selection.
         """
-        state = self._state
-        cost_before = state.total_cost()
-        snapshot = self._facility_snapshot()
-
-        row = self._append_row(state, int(node))
-        try:
-            find_pair(state, row)
-        except MatchingError:
-            self._pop_row(state)
-            raise
-
-        handle = len(self._node_of_handle)
-        self._node_of_handle.append(int(node))
-        self._row_of_handle[handle] = row
-        self._handle_of_row[row] = handle
-
-        self.events.append(
-            AllocationEvent(
-                kind="arrival",
-                customer_node=int(node),
-                cost_before=cost_before,
-                cost_after=state.total_cost(),
-                reassigned=self._count_moves(snapshot),
-            )
-        )
-        return handle
+        _deprecated("add_customer", f"CustomerArrive({int(node)})")
+        return self._add(int(node))
 
     def remove_customer(self, handle: int) -> None:
-        """Stop serving the customer identified by ``handle``."""
-        row = self._row_of_handle.get(handle)
-        if row is None:
-            raise InvalidInstanceError(f"no active customer {handle}")
-        state = self._state
-        cost_before = state.total_cost()
-        node = self._node_of_handle[handle]
-        assert node is not None
+        """Stop serving the customer identified by ``handle``.
 
-        (j_sub,) = state.matched[row]
-        state.unmatch(row, j_sub)
-        del self._row_of_handle[handle]
-        del self._handle_of_row[row]
-        self._node_of_handle[handle] = None
+        .. deprecated::
+            Use ``engine.apply([CustomerDepart(handle)])`` instead.
+        """
+        _deprecated("remove_customer", f"CustomerDepart({int(handle)})")
+        from repro.serve.mutations import CustomerDepart
 
-        reassigned = 0
-        if self._auto_reoptimize:
-            reassigned = self.reoptimize()
-
+        engine = self._engine
+        node = engine.node_of(handle)  # raises on unknown/departed handles
+        cost_before = engine.cost
+        result = engine.apply([CustomerDepart(int(handle))])
+        outcome = result.outcomes[0]
+        if outcome.status != "applied":
+            raise InvalidInstanceError(outcome.detail)
         self.events.append(
             AllocationEvent(
                 kind="departure",
-                customer_node=int(node),
+                customer_node=node,
                 cost_before=cost_before,
-                cost_after=self._state.total_cost(),
-                reassigned=reassigned,
+                cost_after=engine.cost,
+                reassigned=result.moves,
             )
         )
 
     def reoptimize(self) -> int:
-        """Rebuild the optimal assignment for the active customers.
+        """Re-optimize everything pending; returns customers moved.
 
-        Returns the number of customers whose facility changed.  Shares
-        the stream pool with the previous state, so network shortest-path
-        work is reused.
+        With ``auto_reoptimize=False`` departures leave the assignment
+        feasible but stale; this repairs it (the engine re-solves only
+        the dirty components).
         """
-        snapshot = self._facility_snapshot()
-        handles = sorted(self._row_of_handle)
-        nodes = [self._node_of_handle[h] for h in handles]
+        return self._engine.repair()
 
-        fresh = BipartiteState(
-            self._instance.network,
-            [int(n) for n in nodes],  # type: ignore[arg-type]
-            self._sub_nodes,
-            self._sub_caps,
-            pool=self._state.pool,
+    def _add(self, node: int) -> int:
+        from repro.serve.mutations import CustomerArrive
+
+        engine = self._engine
+        cost_before = engine.cost
+        result = engine.apply([CustomerArrive(node)])
+        outcome = result.outcomes[0]
+        if outcome.status != "applied":
+            raise MatchingError(outcome.detail)
+        assert outcome.handle is not None
+        self.events.append(
+            AllocationEvent(
+                kind="arrival",
+                customer_node=node,
+                cost_before=cost_before,
+                cost_after=engine.cost,
+                reassigned=result.moves,
+            )
         )
-        for row in range(fresh.m):
-            find_pair(fresh, row)
-
-        self._state = fresh
-        self._row_of_handle = {h: row for row, h in enumerate(handles)}
-        self._handle_of_row = {row: h for row, h in enumerate(handles)}
-        return self._count_moves(snapshot)
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _append_row(state: BipartiteState, node: int) -> int:
-        """Grow the bipartite state's customer side by one stub row."""
-        row = state.m
-        state.customer_nodes.append(node)
-        state.edges.append({})
-        state.matched.append(set())
-        state.customer_potential.append(0.0)
-        state._cursors.append(None)
-        state.m += 1
-        return row
-
-    @staticmethod
-    def _pop_row(state: BipartiteState) -> None:
-        """Undo :meth:`_append_row` for an unmatched trailing stub."""
-        assert not state.matched[-1]
-        state.customer_nodes.pop()
-        state.edges.pop()
-        state.matched.pop()
-        state.customer_potential.pop()
-        state._cursors.pop()
-        state.m -= 1
-
-    def _facility_snapshot(self) -> dict[int, int]:
-        out: dict[int, int] = {}
-        for handle, row in self._row_of_handle.items():
-            if self._state.matched[row]:
-                (j_sub,) = self._state.matched[row]
-                out[handle] = self._selected[j_sub]
-        return out
-
-    def _count_moves(self, before: dict[int, int]) -> int:
-        moves = 0
-        for handle, j_old in before.items():
-            row = self._row_of_handle.get(handle)
-            if row is not None and self._state.matched[row]:
-                (j_sub,) = self._state.matched[row]
-                if self._selected[j_sub] != j_old:
-                    moves += 1
-        return moves
+        return outcome.handle
 
     def __repr__(self) -> str:
         return (
             f"DynamicAllocator(active={self.n_active}, "
-            f"facilities={len(self._selected)}, cost={self.cost:.1f})"
+            f"facilities={len(self._engine.selected_nodes)}, "
+            f"cost={self.cost:.1f})"
         )

@@ -54,6 +54,15 @@ class _FilteredCursor:
         item = self.peek()
         return item[1] if item is not None else float("inf")
 
+    @property
+    def rank(self) -> int:
+        """Underlying stream position (skipped facilities included)."""
+        return self._cursor.rank
+
+    def seek(self, rank: int) -> None:
+        """Reposition the underlying cursor (see :meth:`StreamCursor.seek`)."""
+        self._cursor.seek(rank)
+
     def peek_lower_bound(self) -> float | None:
         # Disallowed facilities at the frontier are nearer than the next
         # allowed one, so the unfiltered bound still bounds from below.
@@ -188,6 +197,73 @@ class BipartiteState:
             self.edges_materialized
         )
         return j
+
+    def cursor_rank(self, i: int) -> int:
+        """Stream position of customer ``i`` (0 when never advanced)."""
+        cur = self._cursors[i]
+        return 0 if cur is None else cur.rank
+
+    def seek_cursor(self, i: int, rank: int) -> None:
+        """Restore customer ``i``'s stream position (cache restores)."""
+        self.cursor(i).seek(rank)
+
+    # ------------------------------------------------------------------
+    # Customer-row lifecycle (the serving layer's delta operations)
+    # ------------------------------------------------------------------
+    def append_customer(self, node: int) -> int:
+        """Grow the customer side by one unmatched row; returns its index.
+
+        The new row starts with no materialized edges, zero potential,
+        and a lazily created cursor -- exactly the state a constructor
+        row starts in, so a subsequent ``find_pair`` treats it like any
+        other arrival.
+        """
+        row = self.m
+        self.customer_nodes.append(int(node))
+        self.edges.append({})
+        self.matched.append(set())
+        self.customer_potential.append(0.0)
+        self._cursors.append(None)
+        self.m += 1
+        return row
+
+    def pop_customer(self) -> None:
+        """Undo :meth:`append_customer` for an unmatched trailing row."""
+        if self.matched[-1]:
+            raise GraphError("cannot pop a matched customer row")
+        self.customer_nodes.pop()
+        self.edges.pop()
+        self.matched.pop()
+        self.customer_potential.pop()
+        self._cursors.pop()
+        self.m -= 1
+
+    def transplant_row(self, i: int, other: BipartiteState, other_row: int) -> None:
+        """Adopt row ``other_row`` of ``other`` as this state's row ``i``.
+
+        Carries over the materialized edges, the customer potential, the
+        stream cursor (ranks and all), and the matching -- the scoped
+        re-solve's way of keeping untouched components' state warm while
+        only dirty components are rebuilt.  Both states must share the
+        stream pool (hence the facility universe and the network);
+        facility indices are then directly compatible.
+        """
+        if other.pool is not self.pool:
+            raise GraphError(
+                "transplant requires states sharing one stream pool"
+            )
+        if self.customer_nodes[i] != other.customer_nodes[other_row]:
+            raise GraphError(
+                f"transplant target row {i} hosts node "
+                f"{self.customer_nodes[i]}, source row {other_row} hosts "
+                f"{other.customer_nodes[other_row]}"
+            )
+        self.edges[i] = other.edges[other_row]
+        self.customer_potential[i] = other.customer_potential[other_row]
+        self._cursors[i] = other._cursors[other_row]
+        for j in sorted(other.matched[other_row]):
+            _budget_checkpoint()
+            self.match(i, j)
 
     # ------------------------------------------------------------------
     # Assignment bookkeeping

@@ -340,6 +340,25 @@ def find_pair(
     return target
 
 
+def rebuild_rows(
+    state: BipartiteState,
+    rows: Sequence[int],
+    rule: ThresholdRule = ThresholdRule.THEOREM1,
+) -> None:
+    """Match each (currently unmatched) row of ``rows`` in order.
+
+    The shared primitive behind :func:`assign_all` and the serving
+    layer's scoped re-solves: running ``find_pair`` over unmatched rows
+    in ascending row order is exactly the state evolution a cold
+    ``assign_all`` performs, which is what makes warm incremental
+    results bit-identical to cold ones.  Budget-checkpointed between
+    augmentations.
+    """
+    for i in rows:
+        _budget_checkpoint()
+        find_pair(state, i, rule)
+
+
 def assign_all(
     network: Network,
     customer_nodes: Sequence[int],
@@ -366,9 +385,7 @@ def assign_all(
     state = BipartiteState(
         network, customer_nodes, facility_nodes, capacities, pool=pool
     )
-    for i in range(state.m):
-        _budget_checkpoint()
-        find_pair(state, i, rule)
+    rebuild_rows(state, range(state.m), rule)
 
     assignment: list[int] = [-1] * state.m
     for i in range(state.m):

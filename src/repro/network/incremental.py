@@ -209,6 +209,22 @@ class StreamCursor:
             self._rank += 1
         return item
 
+    def seek(self, rank: int) -> None:
+        """Reposition the cursor to ``rank`` facilities consumed.
+
+        Used by cache restores (:mod:`repro.serve.cache`): a snapshot
+        records how far each customer's reveal frontier had advanced,
+        and seeking re-establishes that frontier without re-running the
+        stream -- the underlying Dijkstra resumes lazily only if a later
+        peek needs a facility the stream has not yet settled.  The
+        caller must guarantee the first ``rank`` facilities were truly
+        consumed on an identical network (seeking past the frontier
+        would silently skip reveals and corrupt the pruning bound).
+        """
+        if rank < 0:
+            raise ValueError(f"cursor rank must be >= 0, got {rank}")
+        self._rank = int(rank)
+
     @property
     def exhausted(self) -> bool:
         """True when no further facility is reachable for this cursor."""

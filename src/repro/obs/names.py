@@ -78,6 +78,18 @@ COUNTERS = frozenset(
         "runtime.fallbacks",
         "runtime.budget_exceeded",
         "runtime.degraded_returns",
+        # -- serve (online mutation/delta engine) ----------------------
+        "serve.batches",
+        "serve.mutations",
+        "serve.applied",
+        "serve.rejected",
+        "serve.shed_queue",
+        "serve.shed_deadline",
+        "serve.repairs_component",
+        "serve.repairs_global",
+        "serve.degraded",
+        "serve.cache_hits",
+        "serve.cache_misses",
     }
 )
 

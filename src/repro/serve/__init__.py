@@ -1,0 +1,52 @@
+"""Online serving: a first-class mutation/delta API over warm MCFS state.
+
+The paper motivates MCFS as a problem "solved scalably and repeatedly,
+as in applications requiring the dynamic reallocation of customers to
+facilities"; this package is that operational layer.  A
+:class:`ServeEngine` keeps the bipartite matching, SSPA potentials, and
+nearest-facility streams warm across batches of typed mutations, repairs
+incrementally where the matcher's invariants survive, and escalates to
+component-scoped or global re-solves (with deadline-bounded degradation
+and a fingerprint-keyed solution cache) when they do not.
+
+>>> from repro.serve import ServeEngine, CustomerArrive
+>>> engine = ServeEngine(instance, selected=[0, 1, 2])   # doctest: +SKIP
+>>> engine.apply([CustomerArrive(17)]).staleness         # doctest: +SKIP
+'optimal'
+"""
+
+from __future__ import annotations
+
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import Snapshot, SolutionCache, state_digest
+from repro.serve.engine import MutationOutcome, ServeEngine, ServeResult
+from repro.serve.mutations import (
+    CapacityChange,
+    CustomerArrive,
+    CustomerDepart,
+    EdgeRetime,
+    Mutation,
+    load_trace,
+    mutation_kind,
+    save_trace,
+    synthesize_trace,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CapacityChange",
+    "CustomerArrive",
+    "CustomerDepart",
+    "EdgeRetime",
+    "Mutation",
+    "MutationOutcome",
+    "ServeEngine",
+    "ServeResult",
+    "Snapshot",
+    "SolutionCache",
+    "load_trace",
+    "mutation_kind",
+    "save_trace",
+    "state_digest",
+    "synthesize_trace",
+]

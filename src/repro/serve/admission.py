@@ -1,0 +1,58 @@
+"""Admission control for serve batches.
+
+The engine accepts work through a bounded queue: a batch longer than
+``max_batch`` is truncated and the overflow is *shed* (reported as
+``"shed"`` outcomes, counted under ``serve.shed_queue``) rather than
+silently deferred -- the caller owns retry policy.  Deadline-driven
+shedding (mutations dropped because the batch budget expired mid-way)
+is the engine's job and counts under ``serve.shed_deadline``; this
+module only enforces the queue bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.obs import metrics
+
+_SHED_COUNTERS = metrics.CounterBlock("serve.shed_queue")
+
+
+class AdmissionController:
+    """Bounded-queue admission: accept a prefix, shed the overflow.
+
+    Parameters
+    ----------
+    max_batch:
+        Maximum number of mutations admitted per :meth:`admit` call
+        (``None``: unbounded).  The bound is per batch because the
+        engine is synchronous -- nothing queues *between* batches.
+    """
+
+    def __init__(self, max_batch: int | None = None) -> None:
+        if max_batch is not None and max_batch < 0:
+            raise ValueError(f"max_batch must be >= 0, got {max_batch}")
+        self.max_batch = max_batch
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    def admit(self, mutations: Sequence[object]) -> tuple[list, list]:
+        """Split a batch into ``(accepted, shed)`` lists, in order."""
+        mutations = list(mutations)
+        if self.max_batch is None or len(mutations) <= self.max_batch:
+            accepted, shed = mutations, []
+        else:
+            accepted = mutations[: self.max_batch]
+            shed = mutations[self.max_batch :]
+        self.admitted_total += len(accepted)
+        self.shed_total += len(shed)
+        (c_shed,) = _SHED_COUNTERS.get()
+        c_shed.add(len(shed))
+        return accepted, shed
+
+    def __repr__(self) -> str:
+        bound = "inf" if self.max_batch is None else str(self.max_batch)
+        return (
+            f"AdmissionController(max_batch={bound}, "
+            f"admitted={self.admitted_total}, shed={self.shed_total})"
+        )

@@ -1,0 +1,149 @@
+"""Fingerprint-keyed solution cache for the serving engine.
+
+A global re-solve (triggered by :class:`~repro.serve.mutations.EdgeRetime`)
+is the engine's most expensive escalation.  Deployments often oscillate
+between a small set of network states -- rush-hour vs. off-peak edge
+weights, a facility taken offline and back -- so the engine snapshots the
+optimal matching it computes for each *(network, selection, customers)*
+state and restores it wholesale when the same state recurs.
+
+The key is a digest over ``Network.fingerprint`` (which covers the CSR
+arrays, hence every edge weight), the selected facility nodes and their
+current capacities, and the active customer nodes in handle order -- any
+difference in any of them misses cleanly.  A snapshot stores the
+materialized bipartite edges, the matching, both Johnson potential
+vectors, and the per-customer stream-cursor ranks, so a restore rebuilds
+a :class:`~repro.flow.bipartite.BipartiteState` without running a single
+residual Dijkstra; stream work is re-paid lazily only if later mutations
+need deeper reveals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.flow.bipartite import BipartiteState
+from repro.obs import metrics
+from repro.runtime.budget import checkpoint as _budget_checkpoint
+
+_LOOKUP_COUNTERS = metrics.CounterBlock(
+    "serve.cache_hits", "serve.cache_misses"
+)
+
+
+def prime_counters() -> None:
+    """Materialize the cache counters at zero in the active registry.
+
+    Cache-less engines would otherwise never touch ``serve.cache_*`` and
+    the names would vanish from exports -- the CI baseline gate treats a
+    missing counter as a violation, so the vocabulary must be stable.
+    """
+    _LOOKUP_COUNTERS.get()
+
+
+def state_digest(
+    fingerprint: str,
+    facility_nodes: Sequence[int],
+    capacities: Sequence[int],
+    customer_nodes: Sequence[int],
+) -> str:
+    """Digest of everything that determines the optimal matching."""
+    digest = hashlib.sha1()
+    digest.update(fingerprint.encode())
+    for part in (facility_nodes, capacities, customer_nodes):
+        _budget_checkpoint()
+        digest.update(b"|")
+        digest.update(",".join(str(int(x)) for x in part).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An optimal matching frozen for later wholesale restoration."""
+
+    customer_nodes: tuple[int, ...]
+    edges: tuple[tuple[tuple[int, float], ...], ...]
+    matched: tuple[tuple[int, ...], ...]
+    customer_potential: tuple[float, ...]
+    facility_potential: tuple[float, ...]
+    cursor_ranks: tuple[int, ...]
+    cost: float
+
+    @classmethod
+    def capture(cls, state: BipartiteState) -> Snapshot:
+        """Freeze the matching-relevant parts of a bipartite state."""
+        return cls(
+            customer_nodes=tuple(state.customer_nodes),
+            edges=tuple(
+                tuple(sorted(state.edges[i].items())) for i in range(state.m)
+            ),
+            matched=tuple(
+                tuple(sorted(state.matched[i])) for i in range(state.m)
+            ),
+            customer_potential=tuple(state.customer_potential),
+            facility_potential=tuple(state.facility_potential),
+            cursor_ranks=tuple(
+                state.cursor_rank(i) for i in range(state.m)
+            ),
+            cost=state.total_cost(),
+        )
+
+    def restore(self, state: BipartiteState) -> None:
+        """Replay this snapshot onto a freshly built, empty state.
+
+        ``state`` must have been constructed with the snapshot's customer
+        nodes (in order) and the same facility universe; distances were
+        computed on a network with the same fingerprint, so the restored
+        edges are exact and the cursor ranks reposition each customer's
+        stream without advancing it.
+        """
+        for i in range(state.m):
+            _budget_checkpoint()
+            state.edges[i].update(self.edges[i])
+            state.customer_potential[i] = self.customer_potential[i]
+            for j in self.matched[i]:
+                state.match(i, j)
+            if self.cursor_ranks[i]:
+                state.seek_cursor(i, self.cursor_ranks[i])
+        state.facility_potential[:] = self.facility_potential
+
+
+class SolutionCache:
+    """A small LRU of :class:`Snapshot` objects keyed by state digest."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, Snapshot] = OrderedDict()
+
+    def get(self, key: str) -> Snapshot | None:
+        """Look up a snapshot; counts a serve cache hit or miss."""
+        c_hits, c_misses = _LOOKUP_COUNTERS.get()
+        snapshot = self._entries.get(key)
+        if snapshot is None:
+            c_misses.add()
+            return None
+        self._entries.move_to_end(key)
+        c_hits.add()
+        return snapshot
+
+    def put(self, key: str, snapshot: Snapshot) -> None:
+        """Insert (or refresh) a snapshot, evicting the oldest at capacity."""
+        self._entries[key] = snapshot
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            _budget_checkpoint()
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SolutionCache(entries={len(self._entries)}, "
+            f"capacity={self.capacity})"
+        )

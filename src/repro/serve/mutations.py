@@ -1,0 +1,218 @@
+"""Typed mutations of a served MCFS deployment, plus trace I/O.
+
+The serving engine (:mod:`repro.serve.engine`) consumes *batches* of the
+four mutation kinds the paper's dynamic-reallocation motivation implies:
+
+* :class:`CustomerArrive` -- a new demand point appears at a network node;
+* :class:`CustomerDepart` -- a previously admitted customer (identified by
+  the handle its arrival returned) stops needing service;
+* :class:`CapacityChange` -- a selected facility's capacity is re-rated;
+* :class:`EdgeRetime` -- a road segment's travel time changes (congestion,
+  closure lifting), invalidating every cached network distance.
+
+Mutations are plain frozen dataclasses so batches can be recorded,
+replayed, and diffed.  A *trace* is a JSON-lines file with one mutation
+per line (``{"kind": ..., ...fields}``); :func:`save_trace` /
+:func:`load_trace` round-trip it and ``repro serve --trace`` replays it.
+:func:`synthesize_trace` generates a seeded, always-applicable workload
+for soak tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.network.graph import Network
+from repro.runtime.budget import checkpoint as _budget_checkpoint
+
+
+@dataclass(frozen=True)
+class CustomerArrive:
+    """A new customer appears at ``node`` and must be served."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class CustomerDepart:
+    """The customer identified by ``handle`` stops needing service."""
+
+    handle: int
+
+
+@dataclass(frozen=True)
+class CapacityChange:
+    """Re-rate the selected facility located at node ``facility``.
+
+    Like arrivals and retimes, the mutation references a *network node
+    id* (the facility's location), so traces stay meaningful without the
+    instance's candidate-list indexing.
+    """
+
+    facility: int
+    capacity: int
+
+
+@dataclass(frozen=True)
+class EdgeRetime:
+    """Change the weight of the network edge ``(u, v)`` to ``weight``."""
+
+    u: int
+    v: int
+    weight: float
+
+
+Mutation = CustomerArrive | CustomerDepart | CapacityChange | EdgeRetime
+
+_KINDS: dict[str, type] = {
+    "arrive": CustomerArrive,
+    "depart": CustomerDepart,
+    "capacity": CapacityChange,
+    "retime": EdgeRetime,
+}
+_KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
+
+
+def mutation_kind(mutation: Mutation) -> str:
+    """The trace-format kind tag of a mutation instance."""
+    return _KIND_OF[type(mutation)]
+
+
+def save_trace(path: str, mutations: Iterable[Mutation]) -> int:
+    """Write mutations to a JSON-lines trace file; returns the count."""
+    count = 0
+    with open(path, "w") as fh:
+        for mutation in mutations:
+            _budget_checkpoint()
+            row = {"kind": mutation_kind(mutation), **asdict(mutation)}
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> list[Mutation]:
+    """Parse a JSON-lines trace file back into mutation objects."""
+    out: list[Mutation] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            _budget_checkpoint()
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.pop("kind", None)
+            cls = _KINDS.get(kind)
+            if cls is None:
+                raise InvalidInstanceError(
+                    f"{path}:{lineno}: unknown mutation kind {kind!r}"
+                )
+            try:
+                out.append(cls(**row))
+            except TypeError as exc:
+                raise InvalidInstanceError(
+                    f"{path}:{lineno}: bad {kind!r} mutation: {exc}"
+                ) from None
+    return out
+
+
+def synthesize_trace(
+    network: Network,
+    n_mutations: int,
+    *,
+    facility_nodes: Sequence[int],
+    capacities: Sequence[int],
+    start_handle: int = 0,
+    customer_nodes: Sequence[int] = (),
+    seed: int = 0,
+    p_depart: float = 0.3,
+    p_capacity: float = 0.05,
+    p_retime: float = 0.0,
+) -> list[Mutation]:
+    """Generate a seeded mutation workload that always applies cleanly.
+
+    The synthesizer mirrors the engine's handle numbering (sequential from
+    ``start_handle``, which should be the number of customers already
+    admitted; pass their nodes as ``customer_nodes`` so occupancy is
+    tracked exactly) so departures always name a live handle.  Capacity
+    changes only *increase* capacity, arrivals only target nodes in
+    components that host a facility, and an arrival into a saturated
+    component is emitted as a capacity increase there instead, so a
+    replay never rejects -- rejection paths are exercised by the unit
+    tests, not the soak trace.  Retimes rescale a random edge's weight by
+    a factor in ``[0.5, 2.0)``.
+    """
+    rng = np.random.default_rng(seed)
+    facility_nodes = [int(f) for f in facility_nodes]
+    caps = [int(c) for c in capacities]
+    # Restrict arrivals to nodes that can reach a facility: sample from
+    # the components of the facility nodes.
+    from repro.network.components import component_labels
+
+    labels = component_labels(network)
+    served = np.isin(labels, np.unique(labels[facility_nodes]))
+    served_nodes = np.flatnonzero(served)
+
+    # Per-component capacity vs occupancy, so a saturated component's
+    # arrivals become capacity increases rather than engine rejections.
+    comp_caps: dict[int, int] = {}
+    pos_by_comp: dict[int, list[int]] = {}
+    for pos, fnode in enumerate(facility_nodes):
+        comp = int(labels[fnode])
+        comp_caps[comp] = comp_caps.get(comp, 0) + caps[pos]
+        pos_by_comp.setdefault(comp, []).append(pos)
+    comp_alive = dict.fromkeys(comp_caps, 0)
+    node_of: dict[int, int | None] = {
+        h: int(customer_nodes[h]) if h < len(customer_nodes) else None
+        for h in range(start_handle)
+    }
+    for node in node_of.values():
+        if node is not None:
+            comp_alive[int(labels[node])] += 1
+
+    edge_list = list(network.edges()) if p_retime > 0 else []
+    alive = list(range(start_handle))
+    next_handle = start_handle
+    out: list[Mutation] = []
+
+    def _grow(comp: int) -> None:
+        positions = pos_by_comp[comp]
+        pos = positions[int(rng.integers(len(positions)))]
+        delta = int(rng.integers(1, 4))
+        caps[pos] += delta
+        comp_caps[comp] += delta
+        out.append(CapacityChange(facility_nodes[pos], caps[pos]))
+
+    for _ in range(int(n_mutations)):
+        _budget_checkpoint()
+        roll = float(rng.random())
+        if roll < p_retime and edge_list:
+            u, v, w = edge_list[int(rng.integers(len(edge_list)))]
+            out.append(
+                EdgeRetime(int(u), int(v), float(w) * float(rng.uniform(0.5, 2.0)))
+            )
+        elif roll < p_retime + p_capacity:
+            comps = sorted(comp_caps)
+            _grow(comps[int(rng.integers(len(comps)))])
+        elif roll < p_retime + p_capacity + p_depart and alive:
+            handle = alive.pop(int(rng.integers(len(alive))))
+            out.append(CustomerDepart(handle))
+            node = node_of.pop(handle)
+            if node is not None:
+                comp_alive[int(labels[node])] -= 1
+        else:
+            node = int(served_nodes[int(rng.integers(served_nodes.size))])
+            comp = int(labels[node])
+            if comp_alive[comp] >= comp_caps[comp]:
+                _grow(comp)
+                continue
+            out.append(CustomerArrive(node))
+            node_of[next_handle] = node
+            comp_alive[comp] += 1
+            alive.append(next_handle)
+            next_handle += 1
+    return out

@@ -52,6 +52,17 @@ GOLDEN_COUNTERS = [
     "runtime.budget_exceeded",
     "runtime.degraded_returns",
     "runtime.fallbacks",
+    "serve.applied",
+    "serve.batches",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.degraded",
+    "serve.mutations",
+    "serve.rejected",
+    "serve.repairs_component",
+    "serve.repairs_global",
+    "serve.shed_deadline",
+    "serve.shed_queue",
     "set_cover.checks",
     "set_cover.heap_pops",
     "set_cover.selections",
