@@ -41,8 +41,11 @@ _SUPPRESS_RE = re.compile(
 )
 
 #: Rules whose suppression directives must carry a ``-- <reason>``
-#: justification; without one the directive is ignored.
-JUSTIFIED_RULES = frozenset({"REP103"})
+#: justification; without one the directive is ignored.  The
+#: path-sensitive tier (REP105..REP108) guards serving-stack invariants
+#: where a silent opt-out is itself a bug, so it is justification-only
+#: like REP103.
+JUSTIFIED_RULES = frozenset({"REP103", "REP105", "REP106", "REP107", "REP108"})
 
 #: Directories never linted (caches, VCS internals).
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}

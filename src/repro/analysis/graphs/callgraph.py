@@ -757,7 +757,7 @@ class CallGraph:
         incoming: dict[str, set[str]] = {}
         for edge in self.edges:
             incoming.setdefault(edge.callee, set()).add(edge.caller)
-        stack = list(reaching)
+        stack = sorted(reaching)
         while stack:
             node = stack.pop()
             for caller in incoming.get(node, ()):

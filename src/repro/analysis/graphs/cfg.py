@@ -1,0 +1,701 @@
+"""Per-function control-flow graphs for reprolint's path-sensitive rules.
+
+This is the third analysis tier (after the per-file AST rules and the
+whole-program graphs): :func:`build_cfg` turns one function definition
+into a :class:`CFG` whose blocks and edges model *paths within the
+function* -- branches, loops, ``try``/``except``/``finally``, ``with``,
+``return``/``raise``/``break``/``continue``, and exception edges from
+every statement that can raise into the enclosing handlers.  The
+:mod:`~repro.analysis.graphs.dataflow` solver then runs monotone
+may/must analyses over it (REP105-REP108).
+
+Model
+-----
+* Every executable statement of the function body lands in **exactly
+  one** basic block (pinned by the hypothesis soundness suite in
+  ``tests/test_cfg.py``) -- simple statements get one block each, and a
+  compound statement's node anchors its *header* block (the ``if``/
+  ``while``/``for`` test, the ``with`` enter, the ``try`` entry) while
+  its nested statements get blocks of their own.  Statements of nested
+  ``def``/``class`` bodies belong to *their* CFGs, not the enclosing
+  one (the ``def`` statement itself is an executable statement of the
+  outer function and does get a block).
+* Three virtual blocks carry no statements: ``entry``, ``exit`` (normal
+  return) and ``raise_exit`` (an exception leaves the function).  Each
+  ``except`` clause also gets an empty *handler-entry* block
+  (:attr:`CFG.handler_entry`) so rules can anchor facts at the moment
+  an exception is caught.
+* Edge kinds: ``"next"`` (fallthrough/jump), ``"true"``/``"false"``
+  (branch outcomes; loop headers use ``true`` into the body and
+  ``false`` past the loop), and ``"exc"`` (the statement raised).  An
+  exception edge is attributed to the *innermost* enclosing ``try``'s
+  handlers; because handler matching is not modelled, the edge set
+  over-approximates -- every handler of that ``try`` receives an edge,
+  and the unmatched-propagation path (through any ``finally`` blocks,
+  then outward, ultimately ``raise_exit``) is always present.
+* ``finally`` bodies are built **once** (preserving the
+  one-block-per-statement invariant) and act as a merge point: every
+  abnormal exit that crosses the ``try`` -- a ``break``, ``return``, or
+  propagating exception -- is routed *through* the ``finally`` blocks,
+  which then fan out to every continuation that was actually requested.
+  Distinct exits therefore share path suffixes inside ``finally``; the
+  merge over-approximates the feasible paths, which keeps every
+  must-analysis built on top conservative (it can only *lose* facts at
+  the merge, never invent them).
+
+The builder is purely syntactic and stdlib-only, like everything in
+``analysis/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "CFGEdge",
+    "build_cfg",
+    "can_raise",
+]
+
+FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Edge kinds a :class:`CFGEdge` may carry.
+EDGE_KINDS = ("next", "true", "false", "exc")
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: an index, a label, and its anchored statements."""
+
+    index: int
+    #: ``"entry"``, ``"exit"``, ``"raise"``, ``"except"``, or ``""``.
+    label: str = ""
+    stmts: list[ast.stmt] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        """Source line of the first anchored statement (0 for virtual)."""
+        return self.stmts[0].lineno if self.stmts else 0
+
+
+@dataclass(frozen=True)
+class CFGEdge:
+    """A directed edge between two blocks."""
+
+    src: int
+    dst: int
+    kind: str = "next"
+
+
+class CFG:
+    """The control-flow graph of one function definition."""
+
+    def __init__(self, func: FuncDef, name: str = "") -> None:
+        self.func = func
+        self.name = name or func.name
+        self.blocks: list[BasicBlock] = []
+        self._edges: set[CFGEdge] = set()
+        #: ``ast.ExceptHandler`` -> its (virtual) handler-entry block.
+        self.handler_entry: dict[ast.excepthandler, int] = {}
+        #: ``ast.stmt`` -> index of the block anchoring it.
+        self.block_of_stmt: dict[ast.stmt, int] = {}
+        self.entry = self._new_block("entry")
+        self.exit = self._new_block("exit")
+        self.raise_exit = self._new_block("raise")
+
+    # -- construction helpers (used by the builder) --------------------
+    def _new_block(self, label: str = "") -> int:
+        block = BasicBlock(index=len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block.index
+
+    def _add_edge(self, src: int, dst: int, kind: str = "next") -> None:
+        self._edges.add(CFGEdge(src, dst, kind))
+
+    def _anchor(self, stmt: ast.stmt, block: int) -> None:
+        self.blocks[block].stmts.append(stmt)
+        self.block_of_stmt[stmt] = block
+
+    # -- queries --------------------------------------------------------
+    @property
+    def edges(self) -> list[CFGEdge]:
+        """All edges, deterministically ordered."""
+        return sorted(self._edges, key=lambda e: (e.src, e.dst, e.kind))
+
+    def successors(self, block: int) -> list[CFGEdge]:
+        """Out-edges of ``block`` (deterministic order)."""
+        return [e for e in self.edges if e.src == block]
+
+    def predecessors(self, block: int) -> list[CFGEdge]:
+        """In-edges of ``block`` (deterministic order)."""
+        return [e for e in self.edges if e.dst == block]
+
+    def exit_blocks(self) -> tuple[int, int]:
+        """The ``(exit, raise_exit)`` virtual block pair."""
+        return (self.exit, self.raise_exit)
+
+    def reachable(self) -> set[int]:
+        """Blocks reachable from ``entry`` along any edge kind."""
+        out: dict[int, list[int]] = {}
+        for edge in self._edges:
+            out.setdefault(edge.src, []).append(edge.dst)
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            for nxt in out.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def statements(self) -> Iterator[ast.stmt]:
+        """Every statement anchored to some block (document order)."""
+        for block in self.blocks:
+            yield from block.stmts
+
+    # -- export ---------------------------------------------------------
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready node/edge form (schema pinned by tests)."""
+        return {
+            "name": self.name,
+            "entry": self.entry,
+            "exit": self.exit,
+            "raise_exit": self.raise_exit,
+            "blocks": [
+                {
+                    "index": b.index,
+                    "label": b.label,
+                    "lines": [s.lineno for s in b.stmts],
+                    "stmts": [type(s).__name__ for s in b.stmts],
+                }
+                for b in self.blocks
+            ],
+            "edges": [
+                {"src": e.src, "dst": e.dst, "kind": e.kind}
+                for e in self.edges
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize :meth:`as_dict` to JSON."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_dot(self) -> str:
+        """GraphViz DOT rendering (exception edges dashed red)."""
+        styles = {
+            "next": "",
+            "true": ' [label="T"]',
+            "false": ' [label="F"]',
+            "exc": ' [style=dashed, color=red, label="exc"]',
+        }
+        lines = [f'digraph "{self.name}" {{', "  node [shape=box];"]
+        for block in self.blocks:
+            if block.label in ("entry", "exit", "raise"):
+                text = block.label
+                shape = "oval"
+            elif block.label == "except":
+                text = "except"
+                shape = "diamond"
+            else:
+                text = "\\n".join(
+                    f"{s.lineno}: {_stmt_text(s)}" for s in block.stmts
+                ) or "(empty)"
+                shape = "box"
+            lines.append(
+                f'  b{block.index} [shape={shape}, label="{text}"];'
+            )
+        for edge in self.edges:
+            lines.append(
+                f"  b{edge.src} -> b{edge.dst}{styles.get(edge.kind, '')};"
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _stmt_text(stmt: ast.stmt) -> str:
+    """A short, dot-safe one-line rendering of a statement."""
+    try:
+        text = ast.unparse(stmt).splitlines()[0]
+    except Exception:  # pragma: no cover - unparse is total on parse output
+        text = type(stmt).__name__
+    if len(text) > 48:
+        text = text[:45] + "..."
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+# ----------------------------------------------------------------------
+# can-raise classification
+# ----------------------------------------------------------------------
+_SAFE_STMTS = (
+    ast.Pass,
+    ast.Break,
+    ast.Continue,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+_RAISING_EXPRS = (
+    ast.Call,
+    ast.Attribute,
+    ast.Subscript,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Compare,
+    ast.BoolOp,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Starred,
+    ast.FormattedValue,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.IfExp,
+)
+
+
+def _expr_raises(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    return any(isinstance(n, _RAISING_EXPRS) for n in ast.walk(node))
+
+
+def can_raise(stmt: ast.stmt) -> bool:
+    """Whether *executing this statement's block* can raise (conservative).
+
+    For compound statements only the header counts -- the ``if`` test,
+    the ``for`` iterator, the ``with`` enter; their bodies carry their
+    own blocks and edges.  ``try:`` headers execute nothing and never
+    raise.  ``pass``/``break``/``continue``/``global``/``nonlocal``
+    cannot raise; ``raise``/``assert``/``del``/``import`` always can;
+    any other simple statement raises iff some contained expression has
+    an operation that can fail (a call, attribute/subscript access, an
+    arithmetic or comparison operator, an await/yield, ...).  Name
+    loads alone are treated as safe -- a ``NameError`` in straight-line
+    code is a bug class the rules on top do not chase.
+    """
+    if isinstance(stmt, _SAFE_STMTS):
+        return False
+    if isinstance(stmt, ast.Try):
+        return False
+    if isinstance(
+        stmt,
+        (ast.Raise, ast.Assert, ast.Delete, ast.Import, ast.ImportFrom,
+         ast.With, ast.AsyncWith, ast.For, ast.AsyncFor),
+    ):
+        return True
+    if isinstance(stmt, (ast.If, ast.While)):
+        return _expr_raises(stmt.test)
+    if isinstance(stmt, ast.Match):
+        return _expr_raises(stmt.subject)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # Defining a function runs decorators and default expressions,
+        # not the body.
+        args = stmt.args
+        header = [*stmt.decorator_list, *args.defaults,
+                  *[d for d in args.kw_defaults if d is not None]]
+        return any(_expr_raises(n) for n in header)
+    if isinstance(stmt, ast.ClassDef):
+        return True  # creating a class executes its body
+    return _expr_raises(stmt)
+
+
+def header_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """AST nodes evaluated by *this statement's own block*.
+
+    A compound statement's block runs only its header -- the ``if``
+    test, the ``for`` target/iterator, the ``with`` context
+    expressions; its body statements live in their own blocks.  Rules
+    matching "does this block do X" must walk these nodes, not
+    ``ast.walk(stmt)``, or an ``if`` header would absorb effects that
+    only happen on one branch.  Simple statements yield their full
+    subtree.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield from ast.walk(stmt.test)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from ast.walk(stmt.target)
+        yield from ast.walk(stmt.iter)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from ast.walk(item.context_expr)
+            if item.optional_vars is not None:
+                yield from ast.walk(item.optional_vars)
+    elif isinstance(stmt, ast.Match):
+        yield from ast.walk(stmt.subject)
+    elif isinstance(stmt, ast.Try):
+        return
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = stmt.args
+        for node in (*stmt.decorator_list, *args.defaults,
+                     *[d for d in args.kw_defaults if d is not None]):
+            yield from ast.walk(node)
+    elif isinstance(stmt, ast.ClassDef):
+        for node in (*stmt.decorator_list, *stmt.bases,
+                     *[k.value for k in stmt.keywords]):
+            yield from ast.walk(node)
+    else:
+        yield from ast.walk(stmt)
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+@dataclass
+class _LoopFrame:
+    """An enclosing loop: where ``break``/``continue`` jump."""
+
+    break_target: int
+    continue_target: int
+
+
+@dataclass
+class _TryFrame:
+    """An enclosing ``try``: handler entries, finally routing state."""
+
+    #: Handler-entry block per ``except`` clause (empty while the
+    #: handlers themselves execute -- see ``phase``).
+    handler_entries: list[int]
+    #: Entry block of the ``finally`` body, or ``None``.
+    finally_entry: int | None
+    #: Which part of the ``try`` is being built: ``"body"`` (handlers
+    #: intercept), ``"handler"``/``"else"`` (they do not), ``"finally"``
+    #: (the frame is transparent).
+    phase: str = "body"
+    #: Continuation blocks the single finally instance must fan out to.
+    finally_continuations: set[int] = field(default_factory=set)
+
+
+class _Builder:
+    """Stack-driven statement walker producing a :class:`CFG`."""
+
+    def __init__(self, func: FuncDef, name: str = "") -> None:
+        self.cfg = CFG(func, name)
+        self.frames: list[_LoopFrame | _TryFrame] = []
+
+    def build(self) -> CFG:
+        cfg = self.cfg
+        first = cfg._new_block()
+        cfg._add_edge(cfg.entry, first)
+        last = self._build_body(self.cfg.func.body, first)
+        if last is not None:
+            cfg._add_edge(last, cfg.exit)  # implicit ``return None``
+        return cfg
+
+    # -- frame helpers --------------------------------------------------
+    def _route_abnormal(self, target: int, *, stop_at_loop: bool) -> int:
+        """First block on the way to ``target``, honouring ``finally``.
+
+        Walks the frame stack inner to outer; the first ``try`` frame
+        with a ``finally`` intercepts the jump (registering the onward
+        continuation with that frame), and with ``stop_at_loop`` the
+        walk ends at the innermost loop (``break``/``continue`` never
+        run finallies *outside* their loop).
+        """
+        intercepting: list[_TryFrame] = []
+        for frame in reversed(self.frames):
+            if isinstance(frame, _LoopFrame):
+                if stop_at_loop:
+                    break
+                continue
+            if frame.phase != "finally" and frame.finally_entry is not None:
+                intercepting.append(frame)
+        # Chain finallies inner to outer: each one's continuation is the
+        # next finally's entry; the last one continues to the target.
+        for frame in reversed(intercepting):  # outermost first
+            frame.finally_continuations.add(target)
+            target = frame.finally_entry  # type: ignore[assignment]
+        return target
+
+    def _exception_targets(
+        self, outside: _TryFrame | None = None
+    ) -> list[int]:
+        """Blocks an exception raised *here* may reach (inner to outer).
+
+        Exception matching is not modelled, so the result is an
+        over-approximation: every handler entry of each enclosing
+        ``try`` (body phase only -- handler and ``else`` bodies are not
+        protected by their own ``try``), plus the first intercepting
+        ``finally`` if one exists (the unmatched path runs through it,
+        and the finally's onward continuations -- computed by recursing
+        from *outside* that frame -- are registered with it), plus
+        ``raise_exit`` when nothing intercepts.
+
+        ``outside`` restricts the walk to frames enclosing that frame,
+        which is how a finally's outward-propagation continuations are
+        computed.
+        """
+        frames = self.frames
+        if outside is not None:
+            frames = frames[: frames.index(outside)]
+        targets: list[int] = []
+        for frame in reversed(frames):
+            if isinstance(frame, _LoopFrame):
+                continue
+            if frame.phase == "body" and frame.handler_entries:
+                targets.extend(frame.handler_entries)
+            if frame.phase != "finally" and frame.finally_entry is not None:
+                for onward in self._exception_targets(outside=frame):
+                    frame.finally_continuations.add(onward)
+                targets.append(frame.finally_entry)
+                return targets
+        targets.append(self.cfg.raise_exit)
+        return targets
+
+    def _add_exception_edges(self, block: int) -> None:
+        for target in self._exception_targets():
+            self.cfg._add_edge(block, target, "exc")
+
+    # -- statement dispatch ---------------------------------------------
+    def _build_body(
+        self, stmts: Sequence[ast.stmt], current: int | None
+    ) -> int | None:
+        """Build blocks for a statement sequence; returns the live tail.
+
+        ``current`` is the block control flows in through (``None``
+        after a terminator -- remaining statements still get blocks, so
+        dead code keeps the one-block-per-statement invariant, just with
+        no incoming edges).
+        """
+        for stmt in stmts:
+            if current is None:
+                current = self.cfg._new_block()
+            current = self._build_stmt(stmt, current)
+        return current
+
+    def _build_stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, current)
+        return self._build_simple(stmt, current)
+
+    def _build_simple(self, stmt: ast.stmt, current: int) -> int | None:
+        cfg = self.cfg
+        # One simple statement per block: exception edges then carry the
+        # state *between* statements, which is what the dataflow rules
+        # need (an exception during `x = open(...)` has not acquired).
+        if cfg.blocks[current].stmts:
+            nxt = cfg._new_block()
+            cfg._add_edge(current, nxt)
+            current = nxt
+        cfg._anchor(stmt, current)
+        if can_raise(stmt):
+            self._add_exception_edges(current)
+        if isinstance(stmt, ast.Return):
+            cfg._add_edge(
+                current,
+                self._route_abnormal(cfg.exit, stop_at_loop=False),
+            )
+            return None
+        if isinstance(stmt, ast.Raise):
+            # ``can_raise`` already added the handler/raise-exit edges.
+            return None
+        if isinstance(stmt, ast.Break):
+            target = cfg.exit
+            for frame in reversed(self.frames):
+                if isinstance(frame, _LoopFrame):
+                    target = frame.break_target
+                    break
+            cfg._add_edge(
+                current, self._route_abnormal(target, stop_at_loop=True)
+            )
+            return None
+        if isinstance(stmt, ast.Continue):
+            target = cfg.exit
+            for frame in reversed(self.frames):
+                if isinstance(frame, _LoopFrame):
+                    target = frame.continue_target
+                    break
+            cfg._add_edge(
+                current, self._route_abnormal(target, stop_at_loop=True)
+            )
+            return None
+        return current
+
+    def _header(self, stmt: ast.stmt, current: int) -> int:
+        """Anchor a compound statement's node as its own header block."""
+        cfg = self.cfg
+        if cfg.blocks[current].stmts:
+            nxt = cfg._new_block()
+            cfg._add_edge(current, nxt)
+            current = nxt
+        cfg._anchor(stmt, current)
+        if can_raise(stmt):
+            self._add_exception_edges(current)
+        return current
+
+    def _build_if(self, stmt: ast.If, current: int) -> int | None:
+        cfg = self.cfg
+        header = self._header(stmt, current)
+        after: int | None = None
+
+        then_entry = cfg._new_block()
+        cfg._add_edge(header, then_entry, "true")
+        then_tail = self._build_body(stmt.body, then_entry)
+
+        if stmt.orelse:
+            else_entry = cfg._new_block()
+            cfg._add_edge(header, else_entry, "false")
+            else_tail = self._build_body(stmt.orelse, else_entry)
+        else:
+            else_tail = header  # the false edge goes straight on
+
+        if then_tail is None and else_tail is None:
+            return None
+        after = cfg._new_block()
+        if then_tail is not None:
+            cfg._add_edge(then_tail, after)
+        if else_tail is not None:
+            kind = "false" if else_tail is header else "next"
+            cfg._add_edge(else_tail, after, kind)
+        return after
+
+    def _build_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: int
+    ) -> int:
+        cfg = self.cfg
+        header = self._header(stmt, current)
+        after = cfg._new_block()
+
+        body_entry = cfg._new_block()
+        cfg._add_edge(header, body_entry, "true")
+        self.frames.append(_LoopFrame(break_target=after, continue_target=header))
+        body_tail = self._build_body(stmt.body, body_entry)
+        self.frames.pop()
+        if body_tail is not None:
+            cfg._add_edge(body_tail, header)  # back edge
+
+        if stmt.orelse:
+            else_entry = cfg._new_block()
+            cfg._add_edge(header, else_entry, "false")
+            else_tail = self._build_body(stmt.orelse, else_entry)
+            if else_tail is not None:
+                cfg._add_edge(else_tail, after)
+        else:
+            cfg._add_edge(header, after, "false")
+        return after
+
+    def _build_with(
+        self, stmt: ast.With | ast.AsyncWith, current: int
+    ) -> int | None:
+        cfg = self.cfg
+        header = self._header(stmt, current)
+        body_entry = cfg._new_block()
+        cfg._add_edge(header, body_entry)
+        # Exceptions in the body propagate normally (suppression by
+        # __exit__ is not modelled); the body's own statements add their
+        # exception edges as usual.
+        body_tail = self._build_body(stmt.body, body_entry)
+        if body_tail is None:
+            return None
+        after = cfg._new_block()
+        cfg._add_edge(body_tail, after)
+        return after
+
+    def _build_match(self, stmt: ast.Match, current: int) -> int | None:
+        cfg = self.cfg
+        header = self._header(stmt, current)
+        after = cfg._new_block()
+        fell_through = False
+        for case in stmt.cases:
+            case_entry = cfg._new_block()
+            cfg._add_edge(header, case_entry, "true")
+            tail = self._build_body(case.body, case_entry)
+            if tail is not None:
+                cfg._add_edge(tail, after)
+                fell_through = True
+        cfg._add_edge(header, after, "false")  # no case matched
+        return after if (fell_through or stmt.cases) else after
+
+    def _build_try(self, stmt: ast.Try, current: int) -> int | None:
+        cfg = self.cfg
+        header = self._header(stmt, current)
+
+        handler_entries = [
+            cfg._new_block("except") for _ in stmt.handlers
+        ]
+        for handler, block in zip(stmt.handlers, handler_entries):
+            cfg.handler_entry[handler] = block
+        finally_entry = cfg._new_block() if stmt.finalbody else None
+        frame = _TryFrame(
+            handler_entries=handler_entries, finally_entry=finally_entry
+        )
+        self.frames.append(frame)
+
+        # --- try body ---
+        body_entry = cfg._new_block()
+        cfg._add_edge(header, body_entry)
+        body_tail = self._build_body(stmt.body, body_entry)
+
+        # --- else ---
+        frame.phase = "else"
+        if stmt.orelse:
+            if body_tail is not None:
+                else_entry = cfg._new_block()
+                cfg._add_edge(body_tail, else_entry)
+                body_tail = self._build_body(stmt.orelse, else_entry)
+
+        # --- handlers ---
+        frame.phase = "handler"
+        handler_tails: list[int | None] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            first = cfg._new_block()
+            cfg._add_edge(entry, first)
+            handler_tails.append(self._build_body(handler.body, first))
+
+        # --- finally ---
+        after: int | None = None
+        if finally_entry is not None:
+            frame.phase = "finally"
+            first = cfg._new_block()
+            cfg._add_edge(finally_entry, first)
+            finally_tail = self._build_body(stmt.finalbody, first)
+            self.frames.pop()
+            # Normal completion of body/handlers runs the finally too,
+            # continuing to the after-block.
+            normal_tails = [
+                t for t in [body_tail, *handler_tails] if t is not None
+            ]
+            for tail in normal_tails:
+                cfg._add_edge(tail, finally_entry)
+            if finally_tail is not None:
+                continuations = set(frame.finally_continuations)
+                if normal_tails:
+                    after = cfg._new_block()
+                    continuations.add(after)
+                if not continuations:
+                    # Finally reached only by falling in with no
+                    # registered abnormal exits: dead try body; keep the
+                    # graph connected via the after block.
+                    after = cfg._new_block()
+                    continuations.add(after)
+                for target in sorted(continuations):
+                    cfg._add_edge(finally_tail, target)
+            return after
+        self.frames.pop()
+        live_tails = [t for t in [body_tail, *handler_tails] if t is not None]
+        if not live_tails:
+            return None
+        after = cfg._new_block()
+        for tail in live_tails:
+            cfg._add_edge(tail, after)
+        return after
+
+
+def build_cfg(func: FuncDef, name: str = "") -> CFG:
+    """Build the :class:`CFG` of one function definition."""
+    return _Builder(func, name).build()

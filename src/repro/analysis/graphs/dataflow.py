@@ -1,0 +1,175 @@
+"""Generic monotone dataflow solver over reprolint CFGs.
+
+A :class:`DataflowProblem` describes one analysis: its direction
+(forward or backward), its join (may = union, must = intersection), the
+initial value at the boundary, and a transfer function.  The transfer
+function is *edge-sensitive*: ``flow(block, value, kind)`` receives the
+kind of the out-edge being followed, so an exception edge can carry a
+different value than the fallthrough edge out of the same block (the
+classic example: an exception raised *during* an acquisition statement
+means the resource was never acquired, so the ``"exc"`` edge must not
+carry the gen set).
+
+:func:`solve` runs chaotic worklist iteration to the least (may) /
+greatest (must) fixpoint and reports the iteration count, which the
+hypothesis soundness suite uses to check monotonicity.
+
+Values are ``frozenset`` instances throughout -- small, hashable, and
+cheap to join.  Rules that need richer lattices can encode tuples into
+set elements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .cfg import CFG
+
+__all__ = [
+    "DataflowProblem",
+    "DataflowResult",
+    "Transfer",
+    "gen_kill",
+    "solve",
+]
+
+Value = frozenset
+Transfer = Callable[[int, "Value[object]", str], "Value[object]"]
+
+
+@dataclass(frozen=True)
+class DataflowProblem:
+    """One monotone analysis over a CFG.
+
+    ``direction``
+        ``"forward"`` propagates from ``entry`` along edges;
+        ``"backward"`` propagates from ``exit``/``raise_exit`` against
+        them.
+    ``may``
+        ``True`` joins with union (fact holds on *some* path),
+        ``False`` with intersection (fact holds on *all* paths).
+    ``universe``
+        The full fact set; required for must-analyses, where unvisited
+        predecessors must start at top (= the universe) so that the
+        intersection does not leak optimism from unreachable code.
+    ``flow``
+        Edge-sensitive transfer ``(block_index, in_value, edge_kind) ->
+        out_value``.  Must be monotone in ``in_value``.
+    ``boundary``
+        Value entering the graph (at ``entry`` forward, at the exit
+        blocks backward).
+    """
+
+    flow: Transfer
+    direction: str = "forward"
+    may: bool = True
+    boundary: Value[object] = frozenset()
+    universe: Value[object] = frozenset()
+
+    def join(self, values: Iterable[Value[object]]) -> Value[object]:
+        """Combine predecessor values per ``may``."""
+        result: Value[object] | None = None
+        for value in values:
+            if result is None:
+                result = value
+            elif self.may:
+                result = result | value
+            else:
+                result = result & value
+        if result is None:
+            return frozenset() if self.may else self.universe
+        return result
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint: per-block IN values plus solver statistics."""
+
+    block_in: dict[int, Value[object]] = field(default_factory=dict)
+    #: Value flowing along each (src, dst, kind) edge at the fixpoint.
+    edge_out: dict[tuple[int, int, str], Value[object]] = field(
+        default_factory=dict
+    )
+    iterations: int = 0
+
+    def value_into(self, block: int) -> Value[object]:
+        """IN value of ``block`` (bottom if never reached)."""
+        return self.block_in.get(block, frozenset())
+
+
+def gen_kill(
+    gen: dict[int, frozenset[object]],
+    kill: dict[int, frozenset[object]],
+    *,
+    gen_on_exc: bool = False,
+) -> Transfer:
+    """Build a classic gen/kill transfer from per-block sets.
+
+    With ``gen_on_exc`` false (the default), exception edges carry
+    ``IN - kill`` only: the block's effect is assumed *not yet complete*
+    when the exception fires, but an attempted release still discharges
+    the obligation (kills survive).  Normal edges carry the usual
+    ``(IN - kill) | gen``.
+    """
+    empty: frozenset[object] = frozenset()
+
+    def flow(block: int, value: Value[object], kind: str) -> Value[object]:
+        out = value - kill.get(block, empty)
+        if kind != "exc" or gen_on_exc:
+            out = out | gen.get(block, empty)
+        return out
+
+    return flow
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> DataflowResult:
+    """Run worklist iteration on ``problem`` over ``cfg`` to fixpoint."""
+    forward = problem.direction == "forward"
+    # Adjacency in the direction of propagation, with edge kinds.
+    succ: dict[int, list[tuple[int, str]]] = {
+        b.index: [] for b in cfg.blocks
+    }
+    pred: dict[int, list[tuple[int, str]]] = {
+        b.index: [] for b in cfg.blocks
+    }
+    for edge in cfg.edges:
+        src, dst = (edge.src, edge.dst) if forward else (edge.dst, edge.src)
+        succ[src].append((dst, edge.kind))
+        pred[dst].append((src, edge.kind))
+
+    roots = [cfg.entry] if forward else [cfg.exit, cfg.raise_exit]
+    block_in: dict[int, Value[object]] = {r: problem.boundary for r in roots}
+    edge_out: dict[tuple[int, int, str], Value[object]] = {}
+
+    work: deque[int] = deque(roots)
+    queued = set(work)
+    iterations = 0
+    while work:
+        block = work.popleft()
+        queued.discard(block)
+        iterations += 1
+        if block not in roots:
+            incoming = [
+                edge_out[(p, block, kind)]
+                for p, kind in pred[block]
+                if (p, block, kind) in edge_out
+            ]
+            new_in = problem.join(incoming)
+            if block in block_in and new_in == block_in[block]:
+                continue
+            block_in[block] = new_in
+        value = block_in[block]
+        for nxt, kind in succ[block]:
+            out = problem.flow(block, value, kind)
+            key = (block, nxt, kind)
+            if edge_out.get(key) != out:
+                edge_out[key] = out
+                if nxt not in queued:
+                    queued.add(nxt)
+                    work.append(nxt)
+    return DataflowResult(
+        block_in=block_in, edge_out=edge_out, iterations=iterations
+    )

@@ -1,0 +1,937 @@
+"""Path-sensitive reprolint rules (REP105..REP108) over per-function CFGs.
+
+These rules ride the third analysis tier
+(:mod:`repro.analysis.graphs.cfg` + :mod:`~repro.analysis.graphs.dataflow`):
+candidates are collected cheaply during per-file :meth:`Rule.visit`, and
+the expensive CFG/dataflow work happens once in :meth:`Rule.finalize`,
+against CFGs built on demand and shared through
+``AnalysisProject.cfgs`` -- a function examined by three rules is
+translated to a CFG exactly once.
+
+All four are **error** severity and their suppressions require a
+``-- <reason>`` justification (:data:`repro.analysis.engine.JUSTIFIED_RULES`):
+each one guards a serving-stack invariant (leaked shared-memory under
+exception, a swallowed ``BudgetExceeded``, set-order nondeterminism,
+an incomplete ``ServeResult``) where a silent opt-out is itself a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.graphs import (
+    CFG,
+    DataflowProblem,
+    build_cfg,
+    gen_kill,
+    header_nodes,
+    module_name,
+    solve,
+)
+from repro.analysis.rules import (
+    Rule,
+    _call_name,
+    _dotted,
+    _iter_functions,
+    _owned_nodes,
+)
+
+__all__ = [
+    "BudgetExceptionSafetyRule",
+    "MustReleaseResourceRule",
+    "PATH_RULES",
+    "ServeStateMachineRule",
+    "SetOrderDeterminismRule",
+]
+
+_FuncDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _final_name(node: ast.expr | None) -> str:
+    """Last identifier of a Name/Attribute chain (``c`` for ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _exception_names(node: ast.expr | None) -> set[str]:
+    """Exception class names an ``except`` clause matches (lexically)."""
+    if node is None:
+        return set()
+    if isinstance(node, ast.Tuple):
+        names = set()
+        for elt in node.elts:
+            names |= _exception_names(elt)
+        return names
+    name = _final_name(node)
+    return {name} if name else set()
+
+
+def _always_raises(body: list[ast.stmt]) -> bool:
+    """Whether every path through ``body`` ends in a ``raise`` (structural).
+
+    Conservative: only straight ``raise`` statements and fully-raising
+    ``if``/``else`` splits count; anything it cannot prove is treated as
+    falling through.
+    """
+    for stmt in body:
+        if isinstance(stmt, ast.Raise):
+            return True
+        if isinstance(stmt, ast.Return):
+            return False
+        if isinstance(stmt, ast.If) and stmt.orelse:
+            if _always_raises(stmt.body) and _always_raises(stmt.orelse):
+                return True
+    return False
+
+
+class _PathRule(Rule):
+    """Shared plumbing: candidate functions keyed by call-graph node id."""
+
+    def _node_id(self, rel: str, qual: str) -> str:
+        module = module_name(rel)
+        return f"{module}.{qual}" if module else qual
+
+    def _cfg_for(self, node_id: str, func: _FuncDef) -> CFG:
+        cfg = self.project.cfgs.get(node_id)
+        if cfg is None:
+            # Function unknown to the call graph (e.g. conditionally
+            # defined); build privately rather than skip.
+            cfg = build_cfg(func, name=node_id)
+        return cfg
+
+
+# ----------------------------------------------------------------------
+# REP105 -- must-release resource lifecycle
+# ----------------------------------------------------------------------
+class MustReleaseResourceRule(_PathRule):
+    """Locally-owned resources must be released on *every* path.
+
+    A ``SharedMemory`` segment, process pool, opened file/``.npz``
+    handle, or tracer span acquired into a local variable must reach a
+    release call (``close``/``unlink``/``terminate``/``join``/...) on
+    all paths out of the function -- including the exception edges the
+    CFG threads from every raising statement.  The serving stack keeps
+    these objects alive across batches, so one exception-path leak per
+    request is an unbounded leak under traffic.
+
+    The analysis is a forward **may**-outstanding dataflow: acquisition
+    gens an obligation, a release (or entering the object in a ``with``
+    item) kills it, and the exception edge out of the acquisition
+    statement itself carries nothing (if the constructor raised, there
+    is nothing to free).  An obligation that *may* reach ``exit`` or
+    ``raise_exit`` is a finding.  Objects that escape the function --
+    passed to a call, returned/yielded, stored on an attribute or into
+    a container, aliased -- transfer ownership and are exempt, as is
+    anything managed by ``with``.
+    """
+
+    id = "REP105"
+    severity = "error"
+    title = "resource not released on all paths"
+    hint = (
+        "release in a finally: or use a with-statement; if ownership "
+        "moves elsewhere make the transfer explicit (store/return/pass "
+        "it), or suppress with a justification: "
+        "'# reprolint: disable=REP105 -- <reason>'"
+    )
+
+    #: call-name / dotted-suffix -> human resource kind.
+    _ACQUIRERS = {
+        "SharedMemory": "shared-memory segment",
+        "Pool": "process pool",
+        "open": "file handle",
+        "np.load": "npz handle",
+        "numpy.load": "npz handle",
+        "span": "tracer span",
+        "start_span": "tracer span",
+    }
+    _RELEASES = frozenset(
+        {"close", "unlink", "terminate", "join", "shutdown", "release",
+         "end", "stop", "__exit__"}
+    )
+
+    def start(self) -> None:
+        # (rel, node_id, func, [(var, line, kind)])
+        self._candidates: list[
+            tuple[str, str, _FuncDef, list[tuple[str, int, str]]]
+        ] = []
+
+    def _acquisition_kind(self, value: ast.expr) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = _dotted(value.func)
+        name = _call_name(value)
+        if dotted in self._ACQUIRERS:
+            return self._ACQUIRERS[dotted]
+        if name in ("SharedMemory", "Pool", "span", "start_span"):
+            return self._ACQUIRERS[name]
+        if name == "open" and isinstance(value.func, ast.Name):
+            return self._ACQUIRERS["open"]
+        return None
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        for func, qual, _chain in _iter_functions(ctx.tree):
+            acquisitions: list[tuple[str, int, str]] = []
+            for stmt in _owned_nodes(func):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                if len(stmt.targets) != 1 or not isinstance(
+                    stmt.targets[0], ast.Name
+                ):
+                    continue
+                kind = self._acquisition_kind(stmt.value)
+                if kind is not None:
+                    acquisitions.append(
+                        (stmt.targets[0].id, stmt.lineno, kind)
+                    )
+            if acquisitions:
+                self._candidates.append(
+                    (ctx.rel, self._node_id(ctx.rel, qual), func, acquisitions)
+                )
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        for rel, node_id, func, acquisitions in self._candidates:
+            escaped = self._escaped_names(func)
+            tracked = [
+                (var, line, kind)
+                for var, line, kind in acquisitions
+                if var not in escaped
+            ]
+            if not tracked:
+                continue
+            cfg = self._cfg_for(node_id, func)
+            facts = {
+                (var, line): kind for var, line, kind in tracked
+            }
+            gen: dict[int, frozenset[object]] = {}
+            kill: dict[int, frozenset[object]] = {}
+            for stmt, block in cfg.block_of_stmt.items():
+                gens = frozenset(
+                    key
+                    for key in facts
+                    if self._acquires_here(stmt, key)
+                )
+                if gens:
+                    gen[block] = gen.get(block, frozenset()) | gens
+                kills = frozenset(
+                    key for key in facts if self._releases(stmt, key[0])
+                )
+                if kills:
+                    kill[block] = kill.get(block, frozenset()) | kills
+            result = solve(
+                cfg, DataflowProblem(flow=gen_kill(gen, kill))
+            )
+            leaked_exit = result.value_into(cfg.exit)
+            leaked_raise = result.value_into(cfg.raise_exit)
+            for key in sorted(facts, key=lambda k: (k[1], k[0])):
+                var, line = key
+                kind = facts[key]
+                if key in leaked_exit:
+                    where = "a normal return path"
+                elif key in leaked_raise:
+                    where = "an exception path"
+                else:
+                    continue
+                yield self.finding(
+                    rel,
+                    line,
+                    0,
+                    f"{func.name}.{var}",
+                    f"{kind} {var!r} acquired here may leave "
+                    f"{func.name}() unreleased along {where}",
+                )
+
+    def _acquires_here(
+        self, stmt: ast.stmt, key: tuple[str, int]
+    ) -> bool:
+        var, line = key
+        return (
+            isinstance(stmt, ast.Assign)
+            and stmt.lineno == line
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == var
+        )
+
+    def _releases(self, stmt: ast.stmt, var: str) -> bool:
+        # Only the block's own effects count: walking the whole subtree
+        # of an ``if`` header would credit a release that happens on
+        # just one branch to the branch point itself.
+        for node in header_nodes(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == var
+                and node.func.attr in self._RELEASES
+            ):
+                return True
+        # ``with shm:`` / ``with closing(shm):`` manage the release.
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                for node in ast.walk(item.context_expr):
+                    if isinstance(node, ast.Name) and node.id == var:
+                        return True
+        # Rebinding the name ends the tracked object's window.
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == var:
+                    return True
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == var:
+                    return True
+        return False
+
+    @staticmethod
+    def _escaped_names(func: _FuncDef) -> set[str]:
+        """Names whose object leaves the function (ownership transfer)."""
+        escaped: set[str] = set()
+
+        def note(expr: ast.expr | None) -> None:
+            if expr is None:
+                return
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Name):
+                    escaped.add(node.id)
+
+        for node in _owned_nodes(func):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                note(node.value)
+            elif isinstance(node, ast.Call):
+                # A bare name passed to any call (except a method call
+                # *on* the name itself) hands the object over --
+                # ``self._blocks.append(shm)``, ``stack.enter_context(f)``.
+                for arg in [*node.args, *[k.value for k in node.keywords]]:
+                    if isinstance(arg, ast.Name):
+                        escaped.add(arg.id)
+            elif isinstance(node, ast.Assign):
+                targets_escape = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript, ast.Tuple,
+                                   ast.List))
+                    for t in node.targets
+                )
+                if targets_escape or isinstance(node.value, ast.Name):
+                    # stored on an object / unpacked, or aliased
+                    note(node.value)
+                elif isinstance(
+                    node.value, (ast.List, ast.Tuple, ast.Dict, ast.Set)
+                ):
+                    note(node.value)
+        return escaped
+
+
+# ----------------------------------------------------------------------
+# REP106 -- exception-safety of budget paths
+# ----------------------------------------------------------------------
+class BudgetExceptionSafetyRule(_PathRule):
+    """Budget-checkpointed regions must not swallow ``BudgetExceeded``.
+
+    The deadline runtime is cooperative end to end: a checkpoint raises
+    :class:`~repro.errors.BudgetExceeded` and *every* frame between it
+    and ``solve_with_fallback`` must let it pass.  Two clauses:
+
+    * A broad handler (``except Exception``/``BaseException``/bare)
+      guarding a try body that can raise ``BudgetExceeded`` -- a lexical
+      checkpoint/``tick``/``raise BudgetExceeded``, or a resolved call
+      into the call graph's checkpoint-reaching set -- must be preceded
+      by a handler naming ``BudgetExceeded`` (or an ancestor:
+      ``SolverError``/``ReproError``) or must itself re-raise on every
+      path (structural check).
+    * A handler that catches ``BudgetExceeded`` *by name* and salvages
+      (does not always re-raise) must mark degradation before any
+      return: on every CFG path from the handler entry to a ``return``,
+      either ``...["degraded"] = ...`` runs, an attribute is stored, or
+      a flag read elsewhere in the function is set.  Forward
+      may-analysis: the "caught, unmarked" fact is genned at the
+      handler entry and killed by a marking statement; a fact reaching
+      a return block is a silent salvage.
+    """
+
+    id = "REP106"
+    severity = "error"
+    title = "budget path swallows or silently salvages BudgetExceeded"
+    hint = (
+        "add 'except BudgetExceeded: raise' before the broad handler "
+        "(or re-raise inside it), and set meta['degraded'] on salvage "
+        "returns; suppress with a justification: "
+        "'# reprolint: disable=REP106 -- <reason>'"
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+    #: Catching any of these intercepts BudgetExceeded explicitly.
+    _BUDGET_NAMES = frozenset({"BudgetExceeded", "SolverError", "ReproError"})
+
+    def start(self) -> None:
+        # (rel, node_id, func, try_node, handler)
+        self._broad: list[
+            tuple[str, str, _FuncDef, ast.Try, ast.ExceptHandler]
+        ] = []
+        # (rel, node_id, func, handler)
+        self._salvage: list[
+            tuple[str, str, _FuncDef, ast.ExceptHandler]
+        ] = []
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        for func, qual, _chain in _iter_functions(ctx.tree):
+            node_id = self._node_id(ctx.rel, qual)
+            for stmt in _owned_nodes(func):
+                if not isinstance(stmt, ast.Try):
+                    continue
+                budget_shielded = False
+                for handler in stmt.handlers:
+                    names = _exception_names(handler.type)
+                    if names & self._BUDGET_NAMES:
+                        if "BudgetExceeded" in names and not _always_raises(
+                            handler.body
+                        ):
+                            self._salvage.append(
+                                (ctx.rel, node_id, func, handler)
+                            )
+                        budget_shielded = True
+                        continue
+                    is_broad = handler.type is None or bool(
+                        names & self._BROAD
+                    )
+                    if not is_broad or budget_shielded:
+                        continue
+                    if _always_raises(handler.body):
+                        continue
+                    self._broad.append(
+                        (ctx.rel, node_id, func, stmt, handler)
+                    )
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        calls = self.project.calls
+        reaching = calls.checkpoint_reaching()
+        for rel, node_id, func, try_node, handler in self._broad:
+            if not self._budget_region(node_id, func, try_node, reaching):
+                continue
+            yield self.finding(
+                rel,
+                handler.lineno,
+                handler.col_offset,
+                func.name,
+                f"broad handler in {func.name}() guards a "
+                f"budget-checkpointed region and may swallow "
+                f"BudgetExceeded without re-raising",
+            )
+        for rel, node_id, func, handler in self._salvage:
+            line = self._unmarked_return(node_id, func, handler)
+            if line is None:
+                continue
+            yield self.finding(
+                rel,
+                line,
+                0,
+                func.name,
+                f"{func.name}() returns after catching BudgetExceeded "
+                f"(handler at line {handler.lineno}) without marking "
+                f"degradation (e.g. meta['degraded'] = True) on that path",
+            )
+
+    def _budget_region(
+        self,
+        node_id: str,
+        func: _FuncDef,
+        try_node: ast.Try,
+        reaching: set[str],
+    ) -> bool:
+        first = try_node.body[0].lineno
+        last = max(
+            getattr(s, "end_lineno", s.lineno) or s.lineno
+            for s in try_node.body
+        )
+        params = {
+            a.arg
+            for a in (*func.args.posonlyargs, *func.args.args,
+                      *func.args.kwonlyargs)
+        }
+        for stmt in try_node.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    name = _call_name(node)
+                    if "checkpoint" in name or name == "tick":
+                        return True
+                    # Calling an injected callable (a bare parameter,
+                    # e.g. ``solver(instance)``) is budget-opaque: any
+                    # registered solver checkpoints.
+                    if (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id in params
+                    ):
+                        return True
+                elif isinstance(node, ast.Name) and node.id == "BudgetExceeded":
+                    return True
+        return any(
+            edge.callee in reaching
+            for edge in self.project.calls.calls_within(node_id, first, last)
+        )
+
+    def _unmarked_return(
+        self, node_id: str, func: _FuncDef, handler: ast.ExceptHandler
+    ) -> int | None:
+        """Line of a return reachable from ``handler`` with no marking."""
+        cfg = self._cfg_for(node_id, func)
+        entry = cfg.handler_entry.get(handler)
+        if entry is None:
+            return None
+        fact = frozenset({("caught", handler.lineno)})
+        flag_names = self._observable_flags(func)
+        kill: dict[int, frozenset[object]] = {}
+        for stmt, block in cfg.block_of_stmt.items():
+            if self._marks_degraded(stmt, flag_names):
+                kill[block] = fact
+        result = solve(
+            cfg,
+            DataflowProblem(
+                flow=gen_kill({entry: fact}, kill, gen_on_exc=True)
+            ),
+        )
+        for stmt, block in sorted(
+            cfg.block_of_stmt.items(), key=lambda kv: kv[0].lineno
+        ):
+            if isinstance(stmt, ast.Return) and (
+                result.value_into(block) & fact
+            ):
+                return stmt.lineno
+        return None
+
+    @staticmethod
+    def _observable_flags(func: _FuncDef) -> set[str]:
+        """Local names whose value is *read* somewhere in the function."""
+        return {
+            node.id
+            for node in ast.walk(func)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+        }
+
+    @staticmethod
+    def _marks_degraded(stmt: ast.stmt, flag_names: set[str]) -> bool:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            return False
+        targets = (
+            stmt.targets
+            if isinstance(stmt, ast.Assign)
+            else [stmt.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                key = target.slice
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "degraded"
+                ):
+                    return True
+            elif isinstance(target, ast.Attribute):
+                return True
+            elif isinstance(target, ast.Name) and target.id in flag_names:
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# REP107 -- set-iteration order must not reach order-sensitive sinks
+# ----------------------------------------------------------------------
+class SetOrderDeterminismRule(Rule):
+    """No iterating a set into an order-sensitive sink without ``sorted``.
+
+    Set iteration order depends on insertion history and hash seeds, so
+    a ``for x in some_set`` whose body appends to a list, pushes onto a
+    heap, yields, or writes to a stream makes output order
+    run-dependent -- the classic silent killer of the bit-identical
+    reproduction contract.  The rule infers set-typed locals
+    (literals, comprehensions, ``set()``/``frozenset()`` calls, set
+    operators and methods, ``set[...]`` annotations), treats
+    ``sorted()`` as the laundering point, and flags both tainted
+    ``for`` loops containing a sink and direct materialisations
+    (``list(s)``/``tuple(s)``/comprehensions over ``s``) that are not
+    immediately consumed by an order-insensitive reducer
+    (``sorted``/``sum``/``len``/``min``/``max``/``any``/``all``/...).
+    """
+
+    id = "REP107"
+    severity = "error"
+    title = "set iteration order flows into an order-sensitive sink"
+    hint = (
+        "iterate 'for x in sorted(s)' (or materialise with sorted(s)); "
+        "if order is provably irrelevant, suppress with a "
+        "justification: '# reprolint: disable=REP107 -- <reason>'"
+    )
+
+    _SET_CALLS = frozenset({"set", "frozenset"})
+    _SET_METHODS = frozenset(
+        {"union", "intersection", "difference", "symmetric_difference"}
+    )
+    _SINK_METHODS = frozenset(
+        {"append", "appendleft", "write", "writelines", "put",
+         "put_nowait", "add_row", "emit", "send"}
+    )
+    _SINK_CALLS = frozenset({"heappush", "heappush_max", "print"})
+    #: Consumers for which iteration order is immaterial.
+    _ORDER_FREE = frozenset(
+        {"sorted", "set", "frozenset", "sum", "len", "min", "max", "any",
+         "all", "Counter", "dict", "enumerate"}
+    )
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        for func, qual, _chain in _iter_functions(ctx.tree):
+            set_vars = self._set_typed_names(func)
+            parents: dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(func):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            for node in _owned_nodes(func):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if not self._is_set_valued(node.iter, set_vars):
+                        continue
+                    sink = self._first_sink(node)
+                    if sink is None:
+                        continue
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        qual,
+                        f"{qual}() iterates a set in nondeterministic "
+                        f"order into an order-sensitive sink "
+                        f"(line {sink.lineno})",
+                    )
+                elif isinstance(node, ast.Call):
+                    name = _call_name(node)
+                    if (
+                        name in ("list", "tuple")
+                        and isinstance(node.func, ast.Name)
+                        and node.args
+                        and self._is_set_valued(node.args[0], set_vars)
+                        and not self._order_free_context(node, parents)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            qual,
+                            f"{qual}() materialises a set into an "
+                            f"ordered {name} without sorted()",
+                        )
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                    if any(
+                        self._is_set_valued(g.iter, set_vars)
+                        for g in node.generators
+                    ) and not self._order_free_context(node, parents):
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            qual,
+                            f"{qual}() builds an ordered sequence by "
+                            f"iterating a set without sorted()",
+                        )
+
+    @classmethod
+    def _set_typed_names(cls, func: _FuncDef) -> set[str]:
+        names: set[str] = set()
+        for arg in (*func.args.posonlyargs, *func.args.args,
+                    *func.args.kwonlyargs):
+            if cls._is_set_annotation(arg.annotation):
+                names.add(arg.arg)
+        changed = True
+        while changed:
+            changed = False
+            for node in _owned_nodes(func):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target = node.target
+                    if cls._is_set_annotation(node.annotation) and isinstance(
+                        target, ast.Name
+                    ):
+                        if target.id not in names:
+                            names.add(target.id)
+                            changed = True
+                    value = node.value
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+                ):
+                    target, value = node.target, node.value
+                if (
+                    isinstance(target, ast.Name)
+                    and value is not None
+                    and cls._set_valued_expr(value, names)
+                    and target.id not in names
+                ):
+                    names.add(target.id)
+                    changed = True
+        return names
+
+    @classmethod
+    def _is_set_annotation(cls, ann: ast.expr | None) -> bool:
+        if ann is None:
+            return False
+        text = ann.value if (
+            isinstance(ann, ast.Constant) and isinstance(ann.value, str)
+        ) else ""
+        if not text:
+            base = ann.value if isinstance(ann, ast.Subscript) else ann
+            text = _dotted(base) if isinstance(
+                base, (ast.Name, ast.Attribute)
+            ) else ""
+        text = text.split("[", 1)[0].rsplit(".", 1)[-1]
+        return text in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+                        "MutableSet")
+
+    @classmethod
+    def _set_valued_expr(cls, expr: ast.expr, names: set[str]) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in names
+        if isinstance(expr, ast.Call):
+            if _call_name(expr) in cls._SET_CALLS:
+                return True
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in cls._SET_METHODS
+                and cls._set_valued_expr(expr.func.value, names)
+            ):
+                return True
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return cls._set_valued_expr(
+                expr.left, names
+            ) or cls._set_valued_expr(expr.right, names)
+        return False
+
+    @classmethod
+    def _is_set_valued(cls, expr: ast.expr, names: set[str]) -> bool:
+        return cls._set_valued_expr(expr, names)
+
+    @classmethod
+    def _first_sink(
+        cls, loop: ast.For | ast.AsyncFor
+    ) -> ast.AST | None:
+        for stmt in loop.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    return node
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in cls._SINK_METHODS
+                ):
+                    return node
+                if _call_name(node) in cls._SINK_CALLS:
+                    return node
+        return None
+
+    @classmethod
+    def _order_free_context(
+        cls, node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> bool:
+        parent = parents.get(node)
+        if isinstance(parent, ast.Call) and node in (
+            *parent.args,
+            *[k.value for k in parent.keywords],
+        ):
+            return _call_name(parent) in cls._ORDER_FREE
+        # ``for x in (g for ...)`` over a generator is only a hazard if
+        # the loop has a sink; the loop check handles that case.
+        if isinstance(parent, (ast.For, ast.AsyncFor)) and isinstance(
+            node, ast.GeneratorExp
+        ):
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# REP108 -- serve state-machine completeness
+# ----------------------------------------------------------------------
+class ServeStateMachineRule(_PathRule):
+    """``ServeResult`` completeness and mutation-record immutability.
+
+    Three serve-package invariants:
+
+    * every ``ServeResult(...)`` construction passes ``staleness=``
+      explicitly -- the field is the consistency contract of the online
+      engine and must never ride a default;
+    * every function annotated ``-> ServeResult`` constructs one (or
+      delegates via ``return <call>``) on **all** paths to a normal
+      return -- a must-dataflow over the CFG, so an early ``return
+      None`` arm or a fall-through path is caught even when the happy
+      path is fine;
+    * frozen mutation records (``CustomerArrive`` & co.) are never
+      attribute-assigned after construction and ``object.__setattr__``
+      never appears in serve code -- replaying a mutated record breaks
+      the re-solve log.
+    """
+
+    id = "REP108"
+    severity = "error"
+    title = "serve state-machine violation"
+    hint = (
+        "construct ServeResult(staleness=...) on every path; build a "
+        "new mutation record instead of assigning to a frozen one; "
+        "suppress with a justification: "
+        "'# reprolint: disable=REP108 -- <reason>'"
+    )
+
+    PREFIX = "serve/"
+    _MUTATION_TYPES = frozenset(
+        {"CustomerArrive", "CustomerDepart", "CapacityChange", "EdgeRetime",
+         "Mutation"}
+    )
+    _RESULT = "ServeResult"
+    _FACT = frozenset({"constructed"})
+
+    def start(self) -> None:
+        # (rel, node_id, func) for ``-> ServeResult`` functions
+        self._result_funcs: list[tuple[str, str, _FuncDef]] = []
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.rel.startswith(self.PREFIX):
+            return
+        for func, qual, _chain in _iter_functions(ctx.tree):
+            if self._returns_serveresult(func):
+                self._result_funcs.append(
+                    (ctx.rel, self._node_id(ctx.rel, qual), func)
+                )
+            frozen_vars = self._frozen_locals(func)
+            for node in _owned_nodes(func):
+                if isinstance(node, ast.Call):
+                    if _call_name(node) == self._RESULT:
+                        kwargs = {k.arg for k in node.keywords}
+                        if "staleness" not in kwargs and None not in kwargs:
+                            yield self.finding(
+                                ctx,
+                                node.lineno,
+                                node.col_offset,
+                                qual,
+                                f"{qual}() constructs ServeResult without "
+                                f"an explicit staleness= keyword",
+                            )
+                    elif _dotted(node.func) == "object.__setattr__":
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            qual,
+                            f"{qual}() uses object.__setattr__ -- frozen "
+                            f"records must not be mutated after "
+                            f"construction",
+                        )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in frozen_vars
+                        ):
+                            yield self.finding(
+                                ctx,
+                                target.lineno,
+                                target.col_offset,
+                                qual,
+                                f"{qual}() assigns "
+                                f"{target.value.id}.{target.attr} on a "
+                                f"frozen mutation record",
+                            )
+
+    def _returns_serveresult(self, func: _FuncDef) -> bool:
+        ann = func.returns
+        if ann is None:
+            return False
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            return ann.value.split("[", 1)[0].strip() == self._RESULT
+        return _final_name(ann) == self._RESULT
+
+    def _frozen_locals(self, func: _FuncDef) -> set[str]:
+        frozen: set[str] = set()
+        for arg in (*func.args.posonlyargs, *func.args.args,
+                    *func.args.kwonlyargs):
+            ann = arg.annotation
+            name = ""
+            if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                name = ann.value.split("[", 1)[0].strip().rsplit(".", 1)[-1]
+            elif ann is not None:
+                name = _final_name(
+                    ann.value if isinstance(ann, ast.Subscript) else ann
+                )
+            if name in self._MUTATION_TYPES:
+                frozen.add(arg.arg)
+        for node in _owned_nodes(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and _call_name(node.value) in self._MUTATION_TYPES
+            ):
+                frozen.add(node.targets[0].id)
+        return frozen
+
+    def finalize(self) -> Iterator[Finding]:
+        for rel, node_id, func in self._result_funcs:
+            cfg = self._cfg_for(node_id, func)
+            gen: dict[int, frozenset[object]] = {}
+            for stmt, block in cfg.block_of_stmt.items():
+                if self._constructs_result(stmt):
+                    gen[block] = self._FACT
+            result = solve(
+                cfg,
+                DataflowProblem(
+                    flow=gen_kill(gen, {}, gen_on_exc=False),
+                    may=False,
+                    universe=self._FACT,
+                ),
+            )
+            at_exit = result.block_in.get(cfg.exit)
+            if at_exit is not None and not at_exit >= self._FACT:
+                yield self.finding(
+                    rel,
+                    func.lineno,
+                    func.col_offset,
+                    func.name,
+                    f"{func.name}() is annotated -> ServeResult but some "
+                    f"path reaches a normal return without constructing "
+                    f"one",
+                )
+
+    def _constructs_result(self, stmt: ast.stmt) -> bool:
+        # Header-only walk: an ``if`` whose *body* constructs must not
+        # credit the branch point itself.
+        for node in header_nodes(stmt):
+            if isinstance(node, ast.Call) and _call_name(node) == self._RESULT:
+                return True
+        # Delegation: ``return self._other_helper(...)`` constructs the
+        # result elsewhere; the callee is annotated and checked itself.
+        if isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Call):
+            return True
+        return False
+
+
+#: The path-sensitive tier, appended to the main registry by
+#: :func:`repro.analysis.rules.default_rules` (lazy import -- REP102).
+PATH_RULES: tuple[type[Rule], ...] = (
+    MustReleaseResourceRule,
+    BudgetExceptionSafetyRule,
+    SetOrderDeterminismRule,
+    ServeStateMachineRule,
+)

@@ -10,6 +10,8 @@ the old names so existing imports keep working without making
 
 from __future__ import annotations
 
+import warnings
+
 #: Names forwarded to :mod:`repro.bench.robustness` (PEP 562).
 _ROBUSTNESS_EXPORTS = (
     "DriftPoint",
@@ -23,6 +25,13 @@ __all__ = list(_ROBUSTNESS_EXPORTS)
 
 def __getattr__(name: str) -> object:
     if name in _ROBUSTNESS_EXPORTS:
+        warnings.warn(
+            f"repro.analysis.robustness.{name} moved to "
+            f"repro.bench.robustness; this shim will be removed in a "
+            f"future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.bench import robustness
 
         return getattr(robustness, name)

@@ -1,4 +1,4 @@
-"""The repo-specific reprolint rules (REP001..REP006, REP101..REP104).
+"""The repo-specific reprolint rules (REP001..REP006, REP101..REP108).
 
 Each rule encodes a real contract of this codebase that no generic
 linter knows about -- the observability name registry, the
@@ -1019,6 +1019,9 @@ class DeadExportRule(Rule):
 
 
 #: Rule registry in id order; ``repro lint --list-rules`` prints this.
+#: The path-sensitive tier (REP105..REP108) registers itself through
+#: :func:`default_rules` -- :mod:`repro.analysis.pathrules` subclasses
+#: :class:`Rule`, so importing it here eagerly would be a cycle.
 RULES: tuple[type[Rule], ...] = (
     ObsNameRegistryRule,
     SolverRegistrationRule,
@@ -1034,4 +1037,6 @@ RULES: tuple[type[Rule], ...] = (
 
 def default_rules() -> list[Rule]:
     """Fresh instances of every registered rule, in id order."""
-    return [cls() for cls in RULES]
+    from repro.analysis.pathrules import PATH_RULES
+
+    return [cls() for cls in (*RULES, *PATH_RULES)]

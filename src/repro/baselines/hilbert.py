@@ -141,7 +141,8 @@ def solve_hilbert(instance: MCFSInstance) -> MCFSSolution:
             if chunk.size == 0 or not available:
                 break
             centroid = pts[chunk].mean(axis=0)
-            cand = list(available)
+            # sorted: argmin tie-breaks must not depend on set order
+            cand = sorted(available)
             deltas = fac_coords[cand] - centroid
             j_best = cand[int(np.argmin((deltas**2).sum(axis=1)))]
             selected.append(j_best)

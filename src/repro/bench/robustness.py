@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
-from repro.errors import MatchingError
+from repro.errors import BudgetExceeded, MatchingError, ReproError
 from repro.flow.sspa import assign_all
 
 
@@ -128,7 +128,11 @@ def drift_study(
         )
         try:
             fresh = solver(fresh_instance).objective
-        except Exception:
+        except BudgetExceeded:
+            # A deadline hit inside the solver must reach the caller's
+            # fallback chain; a drift study is never worth masking it.
+            raise
+        except ReproError:
             fresh = None
 
         regret = None

@@ -99,7 +99,8 @@ def occupancy_customer_distribution(
             if label[v] >= 0 and int(label[v]) != cell
         }
         if neighbor_cells:
-            for j in neighbor_cells:
+            # sorted: sector_nodes key insertion order must be stable
+            for j in sorted(neighbor_cells):
                 sector_nodes.setdefault((cell, j), []).append(u)
         else:
             interior.setdefault(cell, []).append(u)

@@ -64,7 +64,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import GraphError
+from repro.errors import BudgetExceeded, GraphError
 from repro.network.graph import Network
 from repro.obs import metrics
 from repro.runtime.budget import checkpoint as _budget_checkpoint
@@ -927,11 +927,14 @@ class ContractionHierarchy:
         """Load a persisted hierarchy, or ``None`` when the blob is unusable.
 
         Mirrors :meth:`AltOracle.load <repro.network.oracle.AltOracle.load>`:
-        *any* failure (missing, truncated, corrupt, foreign version,
-        fingerprint mismatch) returns ``None`` for a uniform rebuild
-        fallback.
+        *any* blob failure (missing, truncated, corrupt, foreign
+        version, fingerprint mismatch) returns ``None`` for a uniform
+        rebuild fallback, while ``BudgetExceeded``/``KeyboardInterrupt``
+        always propagate -- a deadline hit while deserializing must
+        reach the fallback chain, not trigger a silent rebuild.
         """
         try:
+            _budget_checkpoint()
             with np.load(path, allow_pickle=False) as blob:
                 if int(blob["version"]) != CH_FORMAT_VERSION:
                     return None
@@ -946,6 +949,8 @@ class ContractionHierarchy:
                     arc_mid=np.asarray(blob["arc_mid"], dtype=np.int64),
                     source_path=path,
                 )
+        except (KeyboardInterrupt, BudgetExceeded):
+            raise
         except Exception:
             return None
         if network is not None:

@@ -62,7 +62,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import GraphError
+from repro.errors import BudgetExceeded, GraphError
 from repro.network import ch as _ch
 from repro.network.graph import Network
 from repro.network.landmarks import select_landmarks
@@ -399,11 +399,16 @@ class AltOracle:
     def load(cls, path: str, network: Network | None = None) -> AltOracle | None:
         """Load a persisted oracle, or ``None`` when the blob is unusable.
 
-        *Any* failure -- missing file, truncation, corruption, a foreign
-        format version, a fingerprint mismatch against ``network`` --
-        returns ``None`` so callers uniformly fall back to a rebuild.
+        *Any* blob failure -- missing file, truncation, corruption, a
+        foreign format version, a fingerprint mismatch against
+        ``network`` -- returns ``None`` so callers uniformly fall back
+        to a rebuild.  ``BudgetExceeded`` and ``KeyboardInterrupt`` are
+        *not* blob failures and always propagate: a deadline hit during
+        deserialization must reach the fallback chain, not trigger a
+        silent (and even slower) rebuild.
         """
         try:
+            _budget_checkpoint()
             with np.load(path, allow_pickle=False) as blob:
                 if int(blob["version"]) != ALT_FORMAT_VERSION:
                     return None
@@ -422,6 +427,8 @@ class AltOracle:
                 seed=seed,
                 source_path=path,
             )
+        except (KeyboardInterrupt, BudgetExceeded):
+            raise
         except Exception:
             return None
         if network is not None:

@@ -46,6 +46,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import BudgetExceeded
 from repro.network import ch as _chmod
 from repro.network import oracle as _oracle
 from repro.network.graph import Network
@@ -135,7 +136,11 @@ def _attach_worker(
                 from multiprocessing import resource_tracker
 
                 resource_tracker.unregister(shm._name, "shared_memory")
+            except (KeyboardInterrupt, BudgetExceeded):
+                raise
             except Exception:
+                # Tracker API drift only; worker setup must not die on
+                # an unregister refusal.
                 pass
 
 
@@ -226,7 +231,7 @@ class ParallelDistanceEngine:
     def __del__(self) -> None:
         try:
             self.close()
-        except Exception:
+        except Exception:  # reprolint: disable=REP106 -- __del__ runs during interpreter shutdown and must never raise, not even BudgetExceeded
             pass
 
     def close(self) -> None:

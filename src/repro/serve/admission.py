@@ -36,14 +36,17 @@ class AdmissionController:
         self.admitted_total = 0
         self.shed_total = 0
 
-    def admit(self, mutations: Sequence[object]) -> tuple[list, list]:
+    def admit(
+        self, mutations: Sequence[object]
+    ) -> tuple[list[object], list[object]]:
         """Split a batch into ``(accepted, shed)`` lists, in order."""
-        mutations = list(mutations)
-        if self.max_batch is None or len(mutations) <= self.max_batch:
-            accepted, shed = mutations, []
+        batch = list(mutations)
+        shed: list[object] = []
+        if self.max_batch is None or len(batch) <= self.max_batch:
+            accepted = batch
         else:
-            accepted = mutations[: self.max_batch]
-            shed = mutations[self.max_batch :]
+            accepted = batch[: self.max_batch]
+            shed = batch[self.max_batch :]
         self.admitted_total += len(accepted)
         self.shed_total += len(shed)
         (c_shed,) = _SHED_COUNTERS.get()

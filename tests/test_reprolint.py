@@ -726,4 +726,6 @@ class TestSelfCheck:
     def test_every_rule_registered_and_distinct(self):
         ids = [r.id for r in default_rules()]
         assert ids == sorted(ids)
-        assert len(ids) == len(set(ids)) == 9
+        assert len(ids) == len(set(ids)) == 13
+        # The path-sensitive tier rides the same registry.
+        assert {"REP105", "REP106", "REP107", "REP108"} <= set(ids)
