@@ -10,30 +10,16 @@ inference, layering contract), the ratchet baseline, and the CLI.  See
 Layering contract (enforced by REP102 on itself): ``analysis`` imports
 nothing but the standard library at import time, so the linter runs
 even on a tree that cannot import.  The *solution* analysis helpers
-that used to live here (solution stats, demand-drift robustness) moved
-to :mod:`repro.bench.solution_stats` and :mod:`repro.bench.robustness`;
-the lazy forwards below keep ``from repro.analysis import
-compare_solutions`` working.
+that used to live here (solution stats, demand-drift robustness) live
+in :mod:`repro.bench.solution_stats` and :mod:`repro.bench.robustness`
+(the deprecation shims that once forwarded the old names were removed
+after two release cycles).
 """
 
 from repro.analysis.baseline import load_baseline, save_baseline
 from repro.analysis.engine import LintEngine, default_root
 from repro.analysis.findings import Finding, LintResult
 from repro.analysis.graphs import AnalysisProject
-
-#: Names lazily forwarded to their new homes in ``repro.bench`` (PEP 562).
-_SOLUTION_EXPORTS = (
-    "SolutionStats",
-    "solution_stats",
-    "compare_solutions",
-    "convergence_report",
-)
-_ROBUSTNESS_EXPORTS = (
-    "DriftPoint",
-    "drift_study",
-    "reassignment_cost",
-    "selection_regret",
-)
 
 __all__ = [
     "AnalysisProject",
@@ -43,20 +29,4 @@ __all__ = [
     "default_root",
     "load_baseline",
     "save_baseline",
-    *_SOLUTION_EXPORTS,
-    *_ROBUSTNESS_EXPORTS,
 ]
-
-
-def __getattr__(name: str) -> object:
-    if name in _SOLUTION_EXPORTS:
-        from repro.bench import solution_stats
-
-        return getattr(solution_stats, name)
-    if name in _ROBUSTNESS_EXPORTS:
-        from repro.bench import robustness
-
-        return getattr(robustness, name)
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}"
-    )

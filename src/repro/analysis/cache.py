@@ -1,0 +1,230 @@
+"""Fingerprint-keyed incremental result cache for the lint engine.
+
+A warm ``repro lint`` should pay only for what changed.  The cache
+stores, per linted root:
+
+* a **run signature** -- hash over the rule-id set, the rule-logic
+  version (:data:`RULESET_VERSION`), and the baseline contents -- so any
+  change to what "linting" means invalidates everything;
+* per-file content digests plus the findings of the *local* rules
+  (``Rule.local = True``: pure per-file, no cross-file state), which can
+  be replayed verbatim for unchanged files;
+* the full result of the last run, replayed wholesale when *nothing*
+  changed (the zero-relint fast path skips parsing entirely);
+* the internal import edges, so callers can expand a changed-file set to
+  its transitive dependents (cross-file rules see the whole tree, so a
+  change in ``flow/sspa.py`` may move findings in files that import it).
+
+Cached local findings are stored pre-baseline and re-enter the normal
+suppression/baseline pipeline, so a warm run's findings are byte-for-
+byte identical to a cold run's.  Global rules (call-graph, layering,
+cost model) are never cached per-file -- they re-run against the full
+tree on every non-identical run; the cache only spares the per-file
+work and, on the full-hit path, the parse.
+
+Stdlib-only, like everything under ``analysis/`` (REP102).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "CACHE_VERSION",
+    "RULESET_VERSION",
+    "LintCache",
+    "default_cache_path",
+    "dependents_closure",
+    "digest_source",
+    "run_signature",
+]
+
+#: On-disk cache schema version.
+CACHE_VERSION = 1
+
+#: Version of the rule *logic*.  Bump whenever any rule's behaviour
+#: changes (new rule, fixed heuristic, reworded message), so stale
+#: per-file results cannot be replayed against new expectations.
+RULESET_VERSION = 1
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_source(source: str) -> str:
+    """Content fingerprint of one source file."""
+    return _sha256(source.encode("utf-8"))
+
+
+def run_signature(
+    rule_ids: list[str], baseline: dict[str, int]
+) -> str:
+    """Hash identifying *what* a run computes (rules + baseline)."""
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "ruleset_version": RULESET_VERSION,
+        "rules": sorted(rule_ids),
+        "baseline": dict(sorted(baseline.items())),
+    }
+    return _sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+def default_cache_path(root: str | Path) -> Path:
+    """Where the cache for ``root`` lives: ``<repo>/.lint-cache/cache.json``.
+
+    The repo directory is found by walking up from the linted root
+    looking for ``pyproject.toml`` (the linted root is usually
+    ``src/repro``); without one the cache nests under the root itself.
+    """
+    root = Path(root)
+    for candidate in (root, *root.parents[:3]):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate / ".lint-cache" / "cache.json"
+    return root / ".lint-cache" / "cache.json"
+
+
+def dependents_closure(
+    changed: set[str], edges: dict[str, list[str]]
+) -> set[str]:
+    """Transitive *reverse*-import closure of ``changed``.
+
+    ``edges`` maps importer path -> imported paths; the result is every
+    file whose cross-file lint results may depend on a changed file
+    (importers of importers included), excluding the seeds themselves.
+    """
+    reverse: dict[str, set[str]] = {}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            reverse.setdefault(dst, set()).add(src)
+    seen: set[str] = set(changed)
+    frontier = sorted(changed)
+    while frontier:
+        rel = frontier.pop()
+        for importer in reverse.get(rel, ()):
+            if importer not in seen:
+                seen.add(importer)
+                frontier.append(importer)
+    return seen - set(changed)
+
+
+class LintCache:
+    """One on-disk cache file (load on construction, explicit save)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._data: dict[str, Any] | None = self._load()
+
+    def _load(self) -> dict[str, Any] | None:
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("cache_version") != CACHE_VERSION
+        ):
+            return None
+        return doc
+
+    # -- queries -------------------------------------------------------
+    def usable_for(self, signature: str, root: str) -> bool:
+        """Whether cached entries may be replayed for this run."""
+        return (
+            self._data is not None
+            and self._data.get("signature") == signature
+            and self._data.get("root") == root
+        )
+
+    def file_digests(self) -> dict[str, str]:
+        if self._data is None:
+            return {}
+        digests = self._data.get("digests", {})
+        return dict(digests) if isinstance(digests, dict) else {}
+
+    def local_findings(self, rel: str) -> list[Finding] | None:
+        """Replay the cached local-rule findings of one unchanged file."""
+        if self._data is None:
+            return None
+        entry = self._data.get("files", {}).get(rel)
+        if not isinstance(entry, dict):
+            return None
+        findings = []
+        for row in entry.get("findings", ()):
+            fields = {k: v for k, v in row.items() if k != "key"}
+            fields["baselined"] = False  # re-applied by the engine
+            try:
+                findings.append(Finding(**fields))
+            except TypeError:
+                return None
+        return findings
+
+    def local_suppressed(self, rel: str) -> int:
+        if self._data is None:
+            return 0
+        entry = self._data.get("files", {}).get(rel)
+        if not isinstance(entry, dict):
+            return 0
+        return int(entry.get("suppressed", 0))
+
+    def has_entry(self, rel: str) -> bool:
+        return (
+            self._data is not None
+            and isinstance(self._data.get("files", {}).get(rel), dict)
+        )
+
+    def full_result(self) -> dict[str, Any] | None:
+        """The stored whole-run result (for the nothing-changed path)."""
+        if self._data is None:
+            return None
+        dump = self._data.get("result")
+        return dump if isinstance(dump, dict) else None
+
+    def import_edges(self) -> dict[str, list[str]]:
+        """Importer path -> imported paths, as of the cached run."""
+        if self._data is None:
+            return {}
+        edges = self._data.get("imports", {})
+        if not isinstance(edges, dict):
+            return {}
+        return {
+            str(src): [str(d) for d in dsts]
+            for src, dsts in edges.items()
+            if isinstance(dsts, list)
+        }
+
+    # -- store ---------------------------------------------------------
+    def store(
+        self,
+        *,
+        signature: str,
+        root: str,
+        digests: dict[str, str],
+        files: dict[str, dict[str, Any]],
+        result: dict[str, Any],
+        imports: dict[str, list[str]],
+    ) -> None:
+        """Atomically persist a completed run."""
+        doc = {
+            "cache_version": CACHE_VERSION,
+            "signature": signature,
+            "root": root,
+            "digests": digests,
+            "files": files,
+            "result": result,
+            "imports": {k: sorted(v) for k, v in sorted(imports.items())},
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(doc, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)
+        self._data = doc

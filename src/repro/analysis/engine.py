@@ -33,6 +33,12 @@ from collections.abc import Iterable, Sequence
 from pathlib import Path
 
 from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.cache import (
+    LintCache,
+    dependents_closure,
+    digest_source,
+    run_signature,
+)
 from repro.analysis.findings import Finding, LintResult
 from repro.analysis.graphs import AnalysisProject
 
@@ -44,11 +50,24 @@ _SUPPRESS_RE = re.compile(
 #: justification; without one the directive is ignored.  The
 #: path-sensitive tier (REP105..REP108) guards serving-stack invariants
 #: where a silent opt-out is itself a bug, so it is justification-only
-#: like REP103.
-JUSTIFIED_RULES = frozenset({"REP103", "REP105", "REP106", "REP107", "REP108"})
+#: like REP103; the cost tier (REP109..REP112) guards hot-path
+#: asymptotics, where an unexplained opt-out is a future regression.
+JUSTIFIED_RULES = frozenset(
+    {
+        "REP103",
+        "REP105",
+        "REP106",
+        "REP107",
+        "REP108",
+        "REP109",
+        "REP110",
+        "REP111",
+        "REP112",
+    }
+)
 
 #: Directories never linted (caches, VCS internals).
-_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", ".lint-cache"}
 
 
 class FileContext:
@@ -182,15 +201,64 @@ class LintEngine:
     def run(
         self,
         baseline: dict[str, int] | str | Path | None = None,
+        cache: LintCache | None = None,
     ) -> LintResult:
         """Lint the tree and return a :class:`LintResult`.
 
         ``baseline`` may be a pre-loaded mapping, a path to a baseline
         file, or ``None`` (gate at zero).
+
+        With a ``cache`` (:class:`~repro.analysis.cache.LintCache`), the
+        run is incremental: when no file changed since the cached run
+        (same rule set, same baseline), the stored result is replayed
+        without parsing anything; otherwise unchanged files replay their
+        cached *local*-rule findings while changed files -- and, through
+        the whole-program graphs, every cross-file rule -- are analysed
+        fresh.  Findings are byte-identical to a cold run either way;
+        :attr:`LintResult.relinted_files` records which files were
+        actually re-analysed.
         """
         if isinstance(baseline, (str, Path)):
             baseline = load_baseline(baseline)
         baseline = dict(baseline or {})
+
+        # Phase 0: read sources and fingerprint them.
+        sources: list[tuple[Path, str, str]] = []
+        read_errors: list[Finding] = []
+        for path in self._iter_files():
+            rel = path.relative_to(self.root).as_posix()
+            try:
+                sources.append((path, rel, path.read_text(encoding="utf-8")))
+            except (OSError, UnicodeDecodeError) as exc:
+                read_errors.append(_parse_error(rel, exc))
+        digests = {rel: digest_source(source) for _, rel, source in sources}
+
+        signature = run_signature(
+            [getattr(rule, "id", "?") for rule in self.rules], baseline
+        )
+        root_key = str(self.root.resolve())
+        reusable = cache is not None and cache.usable_for(
+            signature, root_key
+        )
+
+        # Fast path: nothing changed at all -- replay the stored result.
+        if (
+            reusable
+            and not read_errors
+            and cache.file_digests() == digests
+        ):
+            replayed = _result_from_dump(cache.full_result())
+            if replayed is not None:
+                replayed.relinted_files = []
+                return replayed
+
+        cached_digests = cache.file_digests() if reusable else {}
+        changed = {
+            rel
+            for rel in digests
+            if cached_digests.get(rel) != digests[rel]
+        }
+        deleted = set(cached_digests) - set(digests)
 
         for rule in self.rules:
             rule.start()
@@ -200,24 +268,12 @@ class LintEngine:
         contexts: list[FileContext] = []
         findings: list[Finding] = []
         suppressed = 0
-        for path in self._iter_files():
-            rel = path.relative_to(self.root).as_posix()
+        for path, rel, source in sources:
             try:
-                source = path.read_text(encoding="utf-8")
                 contexts.append(FileContext(path, rel, source))
-            except (SyntaxError, UnicodeDecodeError) as exc:
-                findings.append(
-                    Finding(
-                        rule="REP000",
-                        severity="error",
-                        path=rel,
-                        line=getattr(exc, "lineno", 1) or 1,
-                        col=0,
-                        symbol="parse",
-                        message=f"file could not be parsed: {exc}",
-                        hint="reprolint needs every file to parse",
-                    )
-                )
+            except SyntaxError as exc:
+                findings.append(_parse_error(rel, exc))
+        findings.extend(read_errors)
 
         def _keep(ctx: FileContext | None, finding: Finding) -> bool:
             nonlocal suppressed
@@ -230,12 +286,57 @@ class LintEngine:
                 return False
             return True
 
-        # Phase 2: per-file visits.
+        # Phase 2: per-file visits.  Local rules (``Rule.local``) carry
+        # no cross-file state, so unchanged files replay their cached
+        # findings; global rules always see every file.
+        local_rules = [
+            rule for rule in self.rules if getattr(rule, "local", False)
+        ]
+        global_rules = [
+            rule for rule in self.rules if not getattr(rule, "local", False)
+        ]
+        file_entries: dict[str, dict[str, object]] = {}
         for ctx in contexts:
-            for rule in self.rules:
+            for rule in global_rules:
                 findings.extend(
                     f for f in rule.visit(ctx) if _keep(ctx, f)
                 )
+            replay = (
+                reusable
+                and ctx.rel not in changed
+                and cache.has_entry(ctx.rel)
+            )
+            if replay:
+                cached = cache.local_findings(ctx.rel)
+                replay = cached is not None
+            if replay:
+                findings.extend(cached)
+                n_suppressed = cache.local_suppressed(ctx.rel)
+                suppressed += n_suppressed
+                file_entries[ctx.rel] = {
+                    "findings": [f.as_dict() for f in cached],
+                    "suppressed": n_suppressed,
+                }
+            else:
+                kept: list[Finding] = []
+                n_suppressed = 0
+                for rule in local_rules:
+                    for finding in rule.visit(ctx):
+                        if ctx.is_suppressed(
+                            finding.rule,
+                            finding.line,
+                            require_justification=finding.rule
+                            in JUSTIFIED_RULES,
+                        ):
+                            n_suppressed += 1
+                        else:
+                            kept.append(finding)
+                findings.extend(kept)
+                suppressed += n_suppressed
+                file_entries[ctx.rel] = {
+                    "findings": [f.as_dict() for f in kept],
+                    "suppressed": n_suppressed,
+                }
 
         # Phase 3: hand the whole-program graphs to rules that want
         # them, then finalize.
@@ -254,13 +355,91 @@ class LintEngine:
 
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         stale = apply_baseline(findings, baseline)
-        return LintResult(
+
+        import_edges = _rel_import_edges(project)
+        relinted: list[str] | None = None
+        if reusable:
+            seeds = changed | deleted
+            closure_edges = dict(cache.import_edges())
+            closure_edges.update(import_edges)
+            affected = seeds | dependents_closure(seeds, closure_edges)
+            relinted = sorted(affected & set(digests))
+
+        result = LintResult(
             root=str(self.root),
             files_scanned=len(contexts),
             findings=findings,
             suppressed=suppressed,
             stale_baseline=stale,
+            relinted_files=relinted,
         )
+        if cache is not None:
+            cache.store(
+                signature=signature,
+                root=root_key,
+                digests=digests,
+                files=file_entries,
+                result=_result_dump(result),
+                imports=import_edges,
+            )
+        return result
+
+
+def _parse_error(rel: str, exc: Exception) -> Finding:
+    """The REP000 finding for a file that could not be read or parsed."""
+    return Finding(
+        rule="REP000",
+        severity="error",
+        path=rel,
+        line=getattr(exc, "lineno", 1) or 1,
+        col=0,
+        symbol="parse",
+        message=f"file could not be parsed: {exc}",
+        hint="reprolint needs every file to parse",
+    )
+
+
+def _rel_import_edges(project: AnalysisProject) -> dict[str, list[str]]:
+    """Internal import edges as importer-path -> imported-paths."""
+    imports = project.imports
+    edges: dict[str, set[str]] = {}
+    for edge in imports.internal_edges():
+        src_rel = imports.modules.get(edge.src)
+        dst_rel = imports.modules.get(edge.dst)
+        if src_rel and dst_rel and src_rel != dst_rel:
+            edges.setdefault(src_rel, set()).add(dst_rel)
+    return {src: sorted(dsts) for src, dsts in edges.items()}
+
+
+def _result_dump(result: LintResult) -> dict[str, object]:
+    """JSON-ready form of a result for the cache's full-replay path."""
+    return {
+        "root": result.root,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "stale_baseline": sorted(result.stale_baseline),
+        "findings": [f.as_dict() for f in result.findings],
+    }
+
+
+def _result_from_dump(dump: dict[str, object] | None) -> LintResult | None:
+    """Rebuild a :class:`LintResult` stored by :func:`_result_dump`."""
+    if dump is None:
+        return None
+    try:
+        findings = [
+            Finding(**{k: v for k, v in row.items() if k != "key"})
+            for row in dump["findings"]  # type: ignore[union-attr]
+        ]
+        return LintResult(
+            root=str(dump["root"]),
+            files_scanned=int(dump["files_scanned"]),  # type: ignore[arg-type]
+            findings=findings,
+            suppressed=int(dump["suppressed"]),  # type: ignore[arg-type]
+            stale_baseline=list(dump["stale_baseline"]),  # type: ignore[arg-type]
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def default_root() -> Path:

@@ -15,12 +15,25 @@ least one new finding (or stale baseline entries under ``--strict``),
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import subprocess
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
 from repro.analysis.baseline import load_baseline, save_baseline
+from repro.analysis.cache import (
+    LintCache,
+    default_cache_path,
+    dependents_closure,
+)
+from repro.analysis.costmodel import (
+    DEFAULT_CEILING,
+    CostModel,
+    find_budgets_file,
+    load_budgets,
+)
 from repro.analysis.engine import LintEngine, default_root
 from repro.analysis.reports import GRAPH_FORMATS, GRAPH_KINDS, render_graph
 
@@ -107,6 +120,45 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "the merge base's) and fail if any key appeared or grew -- the "
         "baseline may only shrink",
     )
+    parser.add_argument(
+        "--cost",
+        action="store_true",
+        help="export the hot-path cost tree instead of linting "
+        "(interprocedural loop-cost summaries; format follows "
+        "--graph-format)",
+    )
+    parser.add_argument(
+        "--cost-ratchet",
+        metavar="OLD_BUDGETS",
+        default=None,
+        help="compare cost-budgets.toml against an older copy (e.g. the "
+        "merge base's) and fail if any ceiling appeared or grew -- "
+        "budget growth must ride a PR that visibly changes the file",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache (.lint-cache/)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="incremental cache file (default: .lint-cache/cache.json "
+        "beside pyproject.toml)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="only report findings in git-changed files (working tree "
+        "vs HEAD, plus untracked) and their transitive importers",
+    )
+    parser.add_argument(
+        "--since",
+        metavar="REV",
+        default=None,
+        help="like --changed, diffing the working tree against REV",
+    )
 
 
 def _default_baseline_path(root: Path) -> Path | None:
@@ -146,6 +198,85 @@ def ratchet_check(
     return violations
 
 
+def budget_ratchet_check(
+    old_path: str | Path, new_path: str | Path | None
+) -> list[str]:
+    """Ceilings that appeared or grew between two budget files.
+
+    Mirrors the baseline ratchet: a cost ceiling may disappear or
+    shrink silently, but growth must ride a PR that changes
+    ``cost-budgets.toml`` -- CI runs this check only when the file did
+    *not* change, so any growth it sees slipped in unreviewed.
+    """
+    old = load_budgets(old_path)
+    new = load_budgets(new_path) if new_path is not None else {}
+    violations: list[str] = []
+    for module in sorted(new):
+        before = old.get(module, DEFAULT_CEILING)
+        if new[module] > before:
+            violations.append(
+                f"{module}: depth {before} -> {new[module]}"
+                + ("" if module in old else " (new budget entry)")
+            )
+    return violations
+
+
+def _rel_import_edges_of(engine: LintEngine) -> dict[str, list[str]]:
+    """Importer-path -> imported-paths of the engine's tree (no cache)."""
+    from repro.analysis.engine import _rel_import_edges
+
+    return _rel_import_edges(engine.parse_project())
+
+
+def _git_changed_rels(root: Path, since: str | None) -> set[str] | None:
+    """Root-relative paths of files git considers changed (or None).
+
+    Changed = working tree vs ``since`` (default ``HEAD``), plus
+    untracked files; only paths under the linted root are kept.
+    Returns ``None`` when ``root`` is not inside a git checkout or git
+    fails, so callers can fall back to an unfiltered report.
+    """
+    repo = next(
+        (
+            d
+            for d in (root.resolve(), *root.resolve().parents)
+            if (d / ".git").exists()
+        ),
+        None,
+    )
+    if repo is None:
+        return None
+    names: set[str] = set()
+    commands = [
+        ["git", "diff", "--name-only", since or "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=repo,
+                capture_output=True,
+                text=True,
+                check=False,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        names.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    prefix = root.resolve().relative_to(repo).as_posix()
+    prefix = "" if prefix == "." else prefix + "/"
+    return {
+        name[len(prefix) :]
+        for name in names
+        if name.startswith(prefix) or not prefix
+    }
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a lint run described by parsed arguments."""
     from repro.analysis.rules import default_rules
@@ -174,6 +305,40 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(f"reprolint: wrote {args.output}")
         else:
             print(report)
+        return 0
+
+    if args.cost:
+        project = LintEngine(root, rules=[]).parse_project()
+        model = CostModel(project)
+        budgets_file = find_budgets_file(root)
+        budgets = load_budgets(budgets_file) if budgets_file else {}
+        if args.graph_format == "dot":
+            report = model.to_dot(budgets)
+        else:
+            report = json.dumps(
+                model.as_dict(budgets), indent=2, sort_keys=True
+            )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report + "\n")
+            print(f"reprolint: wrote {args.output}")
+        else:
+            print(report)
+        return 0
+
+    if args.cost_ratchet:
+        current_budgets = find_budgets_file(root)
+        violations = budget_ratchet_check(args.cost_ratchet, current_budgets)
+        if violations:
+            print(
+                "reprolint cost ratchet: budget ceilings grew without a "
+                "visible cost-budgets.toml change:",
+                file=sys.stderr,
+            )
+            for line in violations:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("reprolint cost ratchet: no ceiling grew (ok)")
         return 0
 
     if args.ratchet_check:
@@ -219,10 +384,37 @@ def run_from_args(args: argparse.Namespace) -> int:
     else:
         baseline_path = _default_baseline_path(root)
 
+    cache: LintCache | None = None
+    if not args.no_cache:
+        cache_path = (
+            Path(args.cache) if args.cache else default_cache_path(root)
+        )
+        cache = LintCache(cache_path)
+
     engine = LintEngine(root, rules=rules)
     result = engine.run(
-        baseline=load_baseline(baseline_path) if baseline_path else None
+        baseline=load_baseline(baseline_path) if baseline_path else None,
+        cache=cache,
     )
+
+    if args.changed or args.since:
+        changed = _git_changed_rels(root, args.since)
+        if changed is None:
+            print(
+                "reprolint: --changed needs a git checkout; "
+                "reporting everything",
+                file=sys.stderr,
+            )
+        else:
+            edges = (
+                cache.import_edges()
+                if cache is not None
+                else _rel_import_edges_of(engine)
+            )
+            affected = changed | dependents_closure(changed, edges)
+            result.findings = [
+                f for f in result.findings if f.path in affected
+            ]
 
     if args.update_baseline:
         target = baseline_path or (root / "reprolint-baseline.json")

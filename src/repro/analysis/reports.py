@@ -7,8 +7,8 @@ graph and the call graph, plus the layering table the docs render.
 Historical note: the *solution* statistics and robustness reports that
 used to live here moved to :mod:`repro.bench.solution_stats` and
 :mod:`repro.bench.robustness` when ``analysis/`` adopted its
-stdlib-only layering contract (REP102); the old names keep importing
-from here through the lazy forwards at the bottom of the module.
+stdlib-only layering contract (REP102); the lazy forwards that kept the
+old names importable were removed after two release cycles.
 """
 
 from __future__ import annotations
@@ -103,26 +103,3 @@ def render_layer_table() -> str:
     ]
     width = max(len(r[0]) for r in rows)
     return "\n".join(f"{r[0]:>{width}}  {r[1]}" for r in rows)
-
-
-# ----------------------------------------------------------------------
-# Lazy forwards for the relocated solution-analysis API
-# ----------------------------------------------------------------------
-#: Names forwarded to :mod:`repro.bench.solution_stats` (PEP 562).
-_SOLUTION_EXPORTS = (
-    "SolutionStats",
-    "solution_stats",
-    "compare_solutions",
-    "convergence_report",
-    "_gini",
-)
-
-
-def __getattr__(name: str) -> object:
-    if name in _SOLUTION_EXPORTS:
-        from repro.bench import solution_stats
-
-        return getattr(solution_stats, name)
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}"
-    )

@@ -47,6 +47,10 @@ class Rule:
     severity = "error"
     title = ""
     hint = ""
+    #: Pure per-file rules (no cross-file state, no ``finalize``
+    #: findings) set this True; the incremental engine may then replay
+    #: their cached findings for unchanged files.
+    local = False
 
     def start(self) -> None:
         """Reset cross-file state; called once per engine run."""
@@ -1038,5 +1042,6 @@ RULES: tuple[type[Rule], ...] = (
 def default_rules() -> list[Rule]:
     """Fresh instances of every registered rule, in id order."""
     from repro.analysis.pathrules import PATH_RULES
+    from repro.analysis.perfrules import PERF_RULES
 
-    return [cls() for cls in (*RULES, *PATH_RULES)]
+    return [cls() for cls in (*RULES, *PATH_RULES, *PERF_RULES)]

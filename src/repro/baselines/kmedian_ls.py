@@ -123,10 +123,11 @@ def _greedy_init(
 
     best_per_customer = np.full(instance.m, np.inf)
     selected: list[int] = []
+    selected_set: set[int] = set()
     for _ in range(instance.k):
         best_j, best_gain = None, -1.0
         for j in pool:
-            if j in selected:
+            if j in selected_set:
                 continue
             improved = np.minimum(best_per_customer, columns[j])
             finite = np.where(np.isfinite(improved), improved, 1e12)
@@ -138,6 +139,7 @@ def _greedy_init(
                 best_gain, best_j = gain, j
         assert best_j is not None
         selected.append(best_j)
+        selected_set.add(best_j)
         best_per_customer = np.minimum(best_per_customer, columns[best_j])
     return sorted(selected)
 

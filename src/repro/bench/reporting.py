@@ -34,9 +34,11 @@ def format_table(
         return (title + "\n" if title else "") + "(no rows)"
     if columns is None:
         columns = list(dict_rows[0].keys())
+        seen_cols = set(columns)
         for row in dict_rows[1:]:
             for key in row:
-                if key not in columns:
+                if key not in seen_cols:
+                    seen_cols.add(key)
                     columns.append(key)
 
     def text(value: Any) -> str:
@@ -77,9 +79,11 @@ def format_series(
     """
     series: dict[str, list[tuple[Any, Any]]] = defaultdict(list)
     x_values: list[Any] = []
+    seen_x: set[Any] = set()
     for row in rows:
         x = row.params.get(x_key)
-        if x not in x_values:
+        if x not in seen_x:
+            seen_x.add(x)
             x_values.append(x)
         val = getattr(row, value)
         series[row.method].append((x, val))

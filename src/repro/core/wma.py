@@ -227,7 +227,7 @@ class WMASolver:
                     for i in range(m):
                         while state.assignment_count(i) < demand[i]:
                             try:
-                                find_pair(state, i, self.threshold_rule)
+                                find_pair(state, i, self.threshold_rule)  # reprolint: disable=REP112 -- Theorem 1: at most one augmentation per customer; reveals bounded by the WMA analysis
                             except MatchingError:
                                 # No facility with free capacity is
                                 # reachable: freeze this customer's
@@ -244,7 +244,7 @@ class WMASolver:
                         for j in range(l)
                     ]
                 with tracing.span("wma.cover"):
-                    cover = check_cover(
+                    cover = check_cover(  # reprolint: disable=REP112 -- Alg. 2 gate: one O(l) cover check per uniform-phase round
                         state.assigned,
                         m,
                         k,

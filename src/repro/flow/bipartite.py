@@ -45,10 +45,10 @@ class _FilteredCursor:
 
     def peek(self) -> tuple[int, float] | None:
         while True:
-            item = self._cursor.peek()
+            item = self._cursor.peek()  # reprolint: disable=REP112 -- amortized O(1): the underlying stream advances monotonically
             if item is None or item[0] in self._allowed:
                 return item
-            self._cursor.take()
+            self._cursor.take()  # reprolint: disable=REP112 -- amortized O(1): each stream item is taken exactly once
 
     def peek_distance(self) -> float:
         item = self.peek()

@@ -268,11 +268,11 @@ def find_pair(
         rule is ThresholdRule.THEOREM1 and state.has_cheap_bounds
     )
     while True:
-        dist, parent, settled, target, sp_len = _residual_dijkstra(
+        dist, parent, settled, target, sp_len = _residual_dijkstra(  # reprolint: disable=REP112 -- SSPA core: one residual Dijkstra per augmentation; Theorem 1 bounds the count
             state, customer
         )
         if target is not None and use_fast_path:
-            lb_bound = _stop_bound_lb(state, dist, settled)
+            lb_bound = _stop_bound_lb(state, dist, settled)  # reprolint: disable=REP112 -- O(settled) bound refresh per augmentation, dominated by the Dijkstra it prunes
             if lb_bound is not None and sp_len <= lb_bound + _EPS:
                 # The exact threshold is at least lb_bound, so the exact
                 # rule would stop here too -- skip its nnDist peeks
@@ -280,7 +280,7 @@ def find_pair(
                 (c_prunes,) = _PRUNE_COUNTERS.get()
                 c_prunes.add()
                 break
-        bound, best_customer = _stop_bound(state, dist, settled, rule)
+        bound, best_customer = _stop_bound(state, dist, settled, rule)  # reprolint: disable=REP112 -- O(settled) stop-bound per augmentation, dominated by the Dijkstra it prunes
 
         if target is not None and sp_len <= bound + _EPS:
             break
@@ -356,7 +356,7 @@ def rebuild_rows(
     """
     for i in rows:
         _budget_checkpoint()
-        find_pair(state, i, rule)
+        find_pair(state, i, rule)  # reprolint: disable=REP112 -- warm-start contract: each dirty row is re-assigned exactly once
 
 
 def assign_all(

@@ -338,7 +338,7 @@ class _Contractor:
                 heappush(pq, (priority, v))
                 continue
             del memo[v]
-            self.contract(v, shortcuts)
+            self.contract(v, shortcuts)  # reprolint: disable=REP112 -- CH preprocessing contracts each node exactly once
             rank[v] = order
             order += 1
 
@@ -750,7 +750,7 @@ class ContractionHierarchy:
         for y in reversed(chain):
             p = parent[y]
             acc = memo[p]
-            for w in self._flat_arc(p, y):
+            for w in self._flat_arc(p, y):  # reprolint: disable=REP112 -- flat-arc expansion per parent hop; total work bounded by the cone size
                 acc = acc + w
             memo[y] = acc
         return memo[x]
@@ -818,7 +818,7 @@ class ContractionHierarchy:
         for x in candidates:
             if dist_f[x] + bucket[x][0][1] > threshold:
                 continue
-            lr = self._lr_value(x, parent_f, memo, cone, 0)
+            lr = self._lr_value(x, parent_f, memo, cone, 0)  # reprolint: disable=REP112 -- bucket sweep: one memoized LR evaluation per settled label
             if lr < result:
                 result = lr
         return result
@@ -849,7 +849,7 @@ class ContractionHierarchy:
         _, c_scans = _SWEEP_COUNTERS.get()
         band = 1.0 + _TIE_EPS
         for i, group in enumerate(source_groups):
-            settled, dist_f, parent_f = self._upward_sweep(group)
+            settled, dist_f, parent_f = self._upward_sweep(group)  # reprolint: disable=REP112 -- many-to-many design: one upward sweep per source group
             best = [INF] * n_targets
             # thresh[j] trails best[j] * band so the hot loop compares
             # without multiplying; entries above it can't be the minimum
@@ -883,7 +883,7 @@ class ContractionHierarchy:
                 for val, x in cands[j]:
                     if val > threshold:
                         continue
-                    lr = self._lr_value(x, parent_f, memo, cone, j)
+                    lr = self._lr_value(x, parent_f, memo, cone, j)  # reprolint: disable=REP112 -- bucket sweep: one memoized LR evaluation per settled label
                     if lr < result:
                         result = lr
                 if result <= radius:
@@ -1140,7 +1140,7 @@ class CHFacilityStream:
         ``rank + 1`` facilities are reachable.
         """
         while len(self._found) <= rank and not self._exhausted:
-            self._advance()
+            self._advance()  # reprolint: disable=REP112 -- lazy stream: each heap entry is taken at most once across all calls
         if rank < len(self._found):
             return self._found[rank]
         return None

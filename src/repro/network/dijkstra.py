@@ -286,7 +286,7 @@ def distance_matrix(
     if cache_obj is not None:
         matrix = np.empty((len(source_list), len(target_arr)), dtype=np.float64)
         for i, s in enumerate(source_list):
-            matrix[i, :] = cache_obj.lengths(network, s)[target_arr]
+            matrix[i, :] = cache_obj.lengths(network, s)[target_arr]  # reprolint: disable=REP112 -- matrix contract: one cached Dijkstra per requested source
         return matrix
 
     from repro.network.parallel import ParallelDistanceEngine, resolve_workers

@@ -85,7 +85,7 @@ class NearestFacilityStream:
         ``None`` when fewer than ``rank + 1`` facilities are reachable.
         """
         while len(self._found) <= rank and not self._exhausted:
-            self._advance()
+            self._advance()  # reprolint: disable=REP112 -- lazy stream: each edge is materialized at most once across all calls
         if rank < len(self._found):
             return self._found[rank]
         return None
@@ -234,7 +234,7 @@ class StreamCursor:
         """Consume up to ``limit`` facilities (all remaining if ``None``)."""
         out: list[tuple[int, float]] = []
         while limit is None or len(out) < limit:
-            item = self.take()
+            item = self.take()  # reprolint: disable=REP112 -- drain retires each pending item exactly once
             if item is None:
                 break
             out.append(item)

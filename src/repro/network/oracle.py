@@ -542,7 +542,7 @@ class OracleFacilityStream:
         ``rank + 1`` facilities are reachable.
         """
         while len(self._found) <= rank and not self._exhausted:
-            self._advance()
+            self._advance()  # reprolint: disable=REP112 -- lazy stream: each oracle candidate is advanced past at most once
         if rank < len(self._found):
             return self._found[rank]
         return None

@@ -6,8 +6,12 @@ import numpy as np
 import pytest
 
 from repro import solve
-from repro.analysis import compare_solutions, convergence_report, solution_stats
-from repro.analysis.reports import _gini
+from repro.bench.solution_stats import (
+    _gini,
+    compare_solutions,
+    convergence_report,
+    solution_stats,
+)
 from repro.core.instance import MCFSInstance
 from repro.core.solution import MCFSSolution
 from repro.core.wma import WMASolver, WMATrace

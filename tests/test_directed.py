@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro import solve, validate_solution
-from repro.analysis import solution_stats
+from repro.bench.solution_stats import solution_stats
 from repro.core.instance import MCFSInstance
 from repro.core.validation import evaluate_objective
 from repro.network.graph import Network

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro import solve, validate_solution
-from repro.analysis import compare_solutions, solution_stats
+from repro.bench.solution_stats import compare_solutions, solution_stats
 from repro.core import DynamicAllocator, refine_solution
 from repro.core.throughput import assign_with_throughput
 from repro.datagen import (

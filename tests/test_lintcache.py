@@ -1,0 +1,266 @@
+"""Tests for the incremental lint cache.
+
+The contract under test (docs/dev.md, "Incremental linting"): a warm
+run with no edits re-lints zero files and reproduces the cold findings
+byte-for-byte; editing one file re-lints exactly that file plus its
+reverse-import closure; any change to the rule set or baseline flips
+the run signature and silently falls back to a full lint.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import LintEngine
+from repro.analysis.cache import (
+    LintCache,
+    default_cache_path,
+    dependents_closure,
+    digest_source,
+    run_signature,
+)
+from repro.analysis.perfrules import (
+    HiddenRescanRule,
+    LinearMembershipRule,
+    LoopInvariantAllocRule,
+)
+
+#: A three-module tree: b imports a, c is independent.  ``a.f`` carries
+#: a REP110 finding so cached local findings are non-trivial.
+TREE = {
+    "flow/__init__.py": "",
+    "flow/a.py": """
+        def f(nodes, lo, hi):
+            for u in nodes:
+                bounds = [lo, hi]
+                use(u, bounds)
+        """,
+    "flow/b.py": """
+        from flow.a import f
+
+        def g(nodes):
+            return f(nodes, 0, 1)
+        """,
+    "flow/c.py": """
+        def lonely(x):
+            return x + 1
+        """,
+}
+
+
+def write_tree(tmp_path: Path, files=TREE):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+
+
+def rules():
+    # One global rule (finalize over the project) + two local rules
+    # (replayable from cache) exercises both engine paths.
+    return [
+        HiddenRescanRule(),
+        LoopInvariantAllocRule(),
+        LinearMembershipRule(),
+    ]
+
+
+def dump(result) -> str:
+    """Byte-stable serialization of the findings a run reports."""
+    return json.dumps(
+        {
+            "findings": [f.as_dict() for f in result.findings],
+            "suppressed": result.suppressed,
+            "files": result.files_scanned,
+        },
+        sort_keys=True,
+    )
+
+
+class TestWarmNoChange:
+    def test_relints_nothing_and_reproduces_findings(self, tmp_path):
+        write_tree(tmp_path)
+        cache = LintCache(tmp_path / ".cache" / "cache.json")
+
+        cold = LintEngine(tmp_path, rules=rules()).run(cache=cache)
+        assert cold.relinted_files is None  # nothing cached yet
+        assert [f.rule for f in cold.findings] == ["REP110"]
+
+        warm = LintEngine(tmp_path, rules=rules()).run(cache=cache)
+        assert warm.relinted_files == []
+        assert warm.relinted_count == 0
+        assert dump(warm) == dump(cold)
+
+    def test_cache_file_is_written_and_reused(self, tmp_path):
+        write_tree(tmp_path)
+        cache_path = tmp_path / ".cache" / "cache.json"
+        LintEngine(tmp_path, rules=rules()).run(
+            cache=LintCache(cache_path)
+        )
+        assert cache_path.exists()
+
+        # A second engine with a fresh LintCache object over the same
+        # file still gets the warm fast path.
+        warm = LintEngine(tmp_path, rules=rules()).run(
+            cache=LintCache(cache_path)
+        )
+        assert warm.relinted_files == []
+
+
+class TestSingleEdit:
+    def test_edit_relints_file_and_dependents_only(self, tmp_path):
+        write_tree(tmp_path)
+        cache = LintCache(tmp_path / ".cache" / "cache.json")
+        LintEngine(tmp_path, rules=rules()).run(cache=cache)
+
+        # Edit a.py: hoist the allocation (fixes REP110).
+        (tmp_path / "flow/a.py").write_text(
+            textwrap.dedent(
+                """
+                def f(nodes, lo, hi):
+                    bounds = [lo, hi]
+                    for u in nodes:
+                        use(u, bounds)
+                """
+            )
+        )
+        warm = LintEngine(tmp_path, rules=rules()).run(cache=cache)
+        assert warm.relinted_files == ["flow/a.py", "flow/b.py"]
+        assert "flow/c.py" not in warm.relinted_files
+        assert warm.findings == []
+
+        cold = LintEngine(tmp_path, rules=rules()).run()
+        assert dump(warm) == dump(cold)
+
+    def test_edit_that_adds_finding_matches_cold_run(self, tmp_path):
+        write_tree(tmp_path)
+        cache = LintCache(tmp_path / ".cache" / "cache.json")
+        LintEngine(tmp_path, rules=rules()).run(cache=cache)
+
+        # Introduce a REP111 in c.py (previously clean, no dependents).
+        (tmp_path / "flow/c.py").write_text(
+            textwrap.dedent(
+                """
+                def lonely(nodes, chosen):
+                    order = sorted(chosen)
+                    for u in nodes:
+                        if u in order:
+                            pass
+                """
+            )
+        )
+        warm = LintEngine(tmp_path, rules=rules()).run(cache=cache)
+        assert warm.relinted_files == ["flow/c.py"]
+        assert sorted(f.rule for f in warm.findings) == [
+            "REP110",
+            "REP111",
+        ]
+
+        cold = LintEngine(tmp_path, rules=rules()).run()
+        assert [f.as_dict() for f in warm.findings] == [
+            f.as_dict() for f in cold.findings
+        ]
+
+    def test_new_file_is_linted(self, tmp_path):
+        write_tree(tmp_path)
+        cache = LintCache(tmp_path / ".cache" / "cache.json")
+        LintEngine(tmp_path, rules=rules()).run(cache=cache)
+
+        (tmp_path / "flow/d.py").write_text(
+            "def h(nodes, sel: list[int]):\n"
+            "    for u in nodes:\n"
+            "        if u in sel:\n"
+            "            pass\n"
+        )
+        warm = LintEngine(tmp_path, rules=rules()).run(cache=cache)
+        assert warm.relinted_files == ["flow/d.py"]
+        assert sorted(f.rule for f in warm.findings) == [
+            "REP110",
+            "REP111",
+        ]
+
+    def test_deleted_file_drops_its_findings(self, tmp_path):
+        write_tree(tmp_path)
+        cache = LintCache(tmp_path / ".cache" / "cache.json")
+        LintEngine(tmp_path, rules=rules()).run(cache=cache)
+
+        (tmp_path / "flow/a.py").unlink()
+        (tmp_path / "flow/b.py").write_text("def g():\n    return 1\n")
+        warm = LintEngine(tmp_path, rules=rules()).run(cache=cache)
+        assert warm.findings == []
+        assert warm.relinted_files == ["flow/b.py"]
+
+
+class TestSignatureInvalidation:
+    def test_rule_set_change_falls_back_to_full_lint(self, tmp_path):
+        write_tree(tmp_path)
+        cache_path = tmp_path / ".cache" / "cache.json"
+        LintEngine(tmp_path, rules=rules()).run(
+            cache=LintCache(cache_path)
+        )
+
+        # Dropping a rule changes the run signature: the cache must not
+        # serve results recorded under the wider rule set.
+        warm = LintEngine(
+            tmp_path, rules=[LoopInvariantAllocRule()]
+        ).run(cache=LintCache(cache_path))
+        assert warm.relinted_files is None
+
+    def test_baseline_change_falls_back_to_full_lint(self, tmp_path):
+        write_tree(tmp_path)
+        cache_path = tmp_path / ".cache" / "cache.json"
+        LintEngine(tmp_path, rules=rules()).run(
+            cache=LintCache(cache_path)
+        )
+
+        baseline = {"REP110:flow/a.py:f.bounds": 1}
+        warm = LintEngine(tmp_path, rules=rules()).run(
+            baseline, cache=LintCache(cache_path)
+        )
+        assert warm.relinted_files is None
+        assert warm.ok
+        assert [f.baselined for f in warm.findings] == [True]
+
+    def test_run_signature_is_order_insensitive_for_baseline(self):
+        sig_a = run_signature(["REP110"], {"a": 1, "b": 2})
+        sig_b = run_signature(["REP110"], {"b": 2, "a": 1})
+        assert sig_a == sig_b
+        assert run_signature(["REP110"], {}) != sig_a
+        assert run_signature(["REP111"], {}) != run_signature(
+            ["REP110"], {}
+        )
+
+
+class TestHelpers:
+    def test_dependents_closure_is_transitive(self):
+        edges = {
+            "a.py": {"b.py"},
+            "b.py": {"c.py"},
+            "x.py": {"y.py"},
+        }
+        # edges map importer -> imported; b imports c, a imports b:
+        closure = dependents_closure({"c.py"}, edges)
+        assert closure == {"a.py", "b.py"}
+        assert dependents_closure({"y.py"}, edges) == {"x.py"}
+        assert dependents_closure({"a.py"}, edges) == set()
+
+    def test_digest_source_is_content_addressed(self):
+        assert digest_source("x = 1\n") == digest_source("x = 1\n")
+        assert digest_source("x = 1\n") != digest_source("x = 2\n")
+
+    def test_default_cache_path_walks_to_repo_root(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        assert default_cache_path(nested) == (
+            tmp_path / ".lint-cache" / "cache.json"
+        )
+
+    def test_default_cache_path_without_marker_stays_local(self, tmp_path):
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        assert default_cache_path(nested) == (
+            nested / ".lint-cache" / "cache.json"
+        )

@@ -1,0 +1,461 @@
+"""Fixture tests for the loop-cost tier (REP109..REP112).
+
+Each rule gets positive fixtures (the defect fires) and negative
+fixtures (the remediated shape is clean), plus the justification-only
+suppression contract shared by the whole tier: a bare ``disable``
+comment is ignored, only ``disable=REPxxx -- <reason>`` suppresses.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import LintEngine
+from repro.analysis.perfrules import (
+    HiddenRescanRule,
+    HotPathBudgetRule,
+    LinearMembershipRule,
+    LoopInvariantAllocRule,
+)
+
+
+def run_rule(tmp_path: Path, rule, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return LintEngine(tmp_path, rules=[rule]).run()
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+#: Package-root registry making ``core.a.solve`` a hot entry point.
+REGISTRY_FILES = {
+    "__init__.py": """
+        from core.a import solve
+        SOLVERS = {"wma": solve}
+        """,
+    "core/__init__.py": "",
+}
+
+
+class TestRep109HotPathBudget:
+    def test_deep_hot_function_over_default_ceiling(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            HotPathBudgetRule(),
+            {
+                **REGISTRY_FILES,
+                "core/a.py": """
+                    def solve(nodes, edges, customers):
+                        for u in nodes:
+                            for e in edges:
+                                for c in customers:
+                                    pass
+                    """,
+            },
+        )
+        assert rule_ids(result) == ["REP109"]
+        finding = result.findings[0]
+        assert "ceiling of depth 2" in finding.message
+        assert "O(" in finding.message
+
+    def test_within_default_ceiling_is_clean(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            HotPathBudgetRule(),
+            {
+                **REGISTRY_FILES,
+                "core/a.py": """
+                    def solve(nodes, edges):
+                        for u in nodes:
+                            for e in edges:
+                                pass
+                    """,
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_cold_function_is_never_budgeted(self, tmp_path):
+        # Same depth-3 nest, but not reachable from the registry.
+        result = run_rule(
+            tmp_path,
+            HotPathBudgetRule(),
+            {
+                **REGISTRY_FILES,
+                "core/a.py": """
+                    def solve(nodes):
+                        for u in nodes:
+                            pass
+
+                    def offline_report(nodes, edges, customers):
+                        for u in nodes:
+                            for e in edges:
+                                for c in customers:
+                                    pass
+                    """,
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_budget_file_raises_module_ceiling(self, tmp_path):
+        budgets = tmp_path / "budgets.toml"
+        budgets.write_text('[budgets]\n"core.a" = 3\n')
+        rule = HotPathBudgetRule()
+        rule.budgets_path = budgets
+        result = run_rule(
+            tmp_path,
+            rule,
+            {
+                **REGISTRY_FILES,
+                "core/a.py": """
+                    def solve(nodes, edges, customers):
+                        for u in nodes:
+                            for e in edges:
+                                for c in customers:
+                                    pass
+                    """,
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_interprocedural_depth_counts(self, tmp_path):
+        # One local loop per function, three frames deep: the summary
+        # composes to depth 3 and busts the default ceiling even though
+        # no single function looks worse than O(n).
+        result = run_rule(
+            tmp_path,
+            HotPathBudgetRule(),
+            {
+                **REGISTRY_FILES,
+                "core/a.py": """
+                    def inner(customers):
+                        for c in customers:
+                            pass
+
+                    def middle(edges, customers):
+                        for e in edges:
+                            inner(customers)
+
+                    def solve(nodes, edges, customers):
+                        for u in nodes:
+                            middle(edges, customers)
+                    """,
+            },
+        )
+        assert rule_ids(result) == ["REP109"]
+        assert "solve" in result.findings[0].symbol
+
+
+class TestRep110LoopInvariantAlloc:
+    def test_invariant_literal_in_instance_loop(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LoopInvariantAllocRule(),
+            {
+                "flow/a.py": """
+                    def f(nodes, lo, hi):
+                        for u in nodes:
+                            bounds = [lo, hi]
+                            use(u, bounds)
+                    """
+            },
+        )
+        assert rule_ids(result) == ["REP110"]
+        assert "bounds" in result.findings[0].symbol
+
+    def test_invariant_set_call_in_instance_loop(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LoopInvariantAllocRule(),
+            {
+                "flow/a.py": """
+                    def f(nodes, blocked):
+                        for u in nodes:
+                            probe = set(blocked)
+                            use(u, probe)
+                    """
+            },
+        )
+        assert rule_ids(result) == ["REP110"]
+
+    def test_loop_dependent_alloc_is_clean(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LoopInvariantAllocRule(),
+            {
+                "flow/a.py": """
+                    def f(nodes, lo):
+                        for u in nodes:
+                            pair = [lo, u]
+                            use(pair)
+                    """
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_empty_seed_and_mutated_copy_are_clean(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LoopInvariantAllocRule(),
+            {
+                "flow/a.py": """
+                    def f(nodes, defaults):
+                        for u in nodes:
+                            acc = []
+                            acc.append(u)
+                            scratch = list(defaults)
+                            scratch.append(u)
+                    """
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_operand_mutated_by_closure_is_clean(self, tmp_path):
+        # The regression that produced a false positive on the real
+        # tree: the operand is rebound nowhere, but a locally-defined
+        # closure called in the loop mutates it in place.
+        result = run_rule(
+            tmp_path,
+            LoopInvariantAllocRule(),
+            {
+                "flow/a.py": """
+                    def f(nodes, caps):
+                        def grow():
+                            caps.append(0)
+
+                        for u in nodes:
+                            snapshot = sorted(caps)
+                            grow()
+                            use(snapshot)
+                    """
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_bounded_loop_is_exempt(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LoopInvariantAllocRule(),
+            {
+                "flow/a.py": """
+                    def f(lo, hi):
+                        for i in range(4):
+                            bounds = [lo, hi]
+                            use(bounds)
+                    """
+            },
+        )
+        assert rule_ids(result) == []
+
+
+class TestRep111LinearMembership:
+    def test_list_probe_in_instance_loop(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LinearMembershipRule(),
+            {
+                "flow/a.py": """
+                    def f(nodes, selected: list[int]):
+                        for u in nodes:
+                            if u in selected:
+                                pass
+                    """
+            },
+        )
+        assert rule_ids(result) == ["REP111"]
+        assert "selected" in result.findings[0].message
+
+    def test_list_built_by_call_is_flagged(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LinearMembershipRule(),
+            {
+                "flow/a.py": """
+                    def f(nodes, chosen):
+                        order = sorted(chosen)
+                        for u in nodes:
+                            if u not in order:
+                                pass
+                    """
+            },
+        )
+        assert rule_ids(result) == ["REP111"]
+
+    def test_set_probe_is_clean(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LinearMembershipRule(),
+            {
+                "flow/a.py": """
+                    def f(nodes, selected: set[int]):
+                        for u in nodes:
+                            if u in selected:
+                                pass
+                    """
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_constant_tuple_enum_check_is_clean(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LinearMembershipRule(),
+            {
+                "flow/a.py": """
+                    def f(ops):
+                        for op in ops:
+                            if op.kind in ("add", "drop"):
+                                pass
+                    """
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_probe_outside_instance_loop_is_clean(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LinearMembershipRule(),
+            {
+                "flow/a.py": """
+                    def f(u, selected: list[int], nodes):
+                        for v in nodes:
+                            pass
+                        return u in selected
+                    """
+            },
+        )
+        assert rule_ids(result) == []
+
+
+class TestRep112HiddenRescan:
+    FILES = {
+        "flow/__init__.py": "",
+        "flow/a.py": """
+            def scan(edges):
+                for e in edges:
+                    pass
+
+            def drive(nodes, edges):
+                for u in nodes:
+                    scan(edges)
+            """,
+    }
+
+    def test_instance_call_in_instance_hot_loop(self, tmp_path):
+        result = run_rule(tmp_path, HiddenRescanRule(), self.FILES)
+        assert rule_ids(result) == ["REP112"]
+        finding = result.findings[0]
+        assert "scan" in finding.message
+        assert "drive" in finding.message
+
+    def test_flat_callee_is_clean(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            HiddenRescanRule(),
+            {
+                "flow/__init__.py": "",
+                "flow/a.py": """
+                    def peek(e):
+                        return e.weight
+
+                    def drive(nodes, edges):
+                        for e in edges:
+                            peek(e)
+                    """,
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_call_outside_loop_is_clean(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            HiddenRescanRule(),
+            {
+                "flow/__init__.py": "",
+                "flow/a.py": """
+                    def scan(edges):
+                        for e in edges:
+                            pass
+
+                    def drive(nodes, edges):
+                        scan(edges)
+                        for u in nodes:
+                            pass
+                    """,
+            },
+        )
+        assert rule_ids(result) == []
+
+    def test_cold_module_is_out_of_scope(self, tmp_path):
+        # Identical composition, but under datagen/: not a hot path.
+        result = run_rule(
+            tmp_path,
+            HiddenRescanRule(),
+            {
+                "datagen/__init__.py": "",
+                "datagen/a.py": self.FILES["flow/a.py"],
+            },
+        )
+        assert rule_ids(result) == []
+
+
+class TestJustificationOnlySuppression:
+    BAD_LOOP = """
+        def f(nodes, lo, hi):
+            for u in nodes:
+                bounds = [lo, hi]{comment}
+                use(u, bounds)
+        """
+
+    def test_bare_disable_does_not_suppress(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LoopInvariantAllocRule(),
+            {
+                "flow/a.py": self.BAD_LOOP.format(
+                    comment="  # reprolint: disable=REP110"
+                )
+            },
+        )
+        assert rule_ids(result) == ["REP110"]
+        assert result.suppressed == 0
+
+    def test_justified_disable_suppresses(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            LoopInvariantAllocRule(),
+            {
+                "flow/a.py": self.BAD_LOOP.format(
+                    comment=(
+                        "  # reprolint: disable=REP110 -- rebuilt each "
+                        "pass on purpose: the fixture mutates bounds"
+                    )
+                )
+            },
+        )
+        assert rule_ids(result) == []
+        assert result.suppressed == 1
+
+    def test_justified_disable_suppresses_rep112(self, tmp_path):
+        result = run_rule(
+            tmp_path,
+            HiddenRescanRule(),
+            {
+                "flow/__init__.py": "",
+                "flow/a.py": """
+                    def scan(edges):
+                        for e in edges:
+                            pass
+
+                    def drive(nodes, edges):
+                        for u in nodes:
+                            scan(edges)  # reprolint: disable=REP112 -- rescan per node is the algorithm
+                    """,
+            },
+        )
+        assert rule_ids(result) == []
+        assert result.suppressed == 1

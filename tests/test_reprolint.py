@@ -613,8 +613,11 @@ class TestJsonSchema:
             "baselined",
             "suppressed",
             "stale_baseline",
+            "relinted",
             "ok",
         }
+        # Without a cache every scanned file counts as re-linted.
+        assert doc["summary"]["relinted"] == doc["summary"]["files"]
         assert doc["summary"]["ok"] is False
         (finding,) = doc["findings"]
         assert set(finding) == {
@@ -726,6 +729,7 @@ class TestSelfCheck:
     def test_every_rule_registered_and_distinct(self):
         ids = [r.id for r in default_rules()]
         assert ids == sorted(ids)
-        assert len(ids) == len(set(ids)) == 13
-        # The path-sensitive tier rides the same registry.
+        assert len(ids) == len(set(ids)) == 17
+        # The path-sensitive and cost tiers ride the same registry.
         assert {"REP105", "REP106", "REP107", "REP108"} <= set(ids)
+        assert {"REP109", "REP110", "REP111", "REP112"} <= set(ids)

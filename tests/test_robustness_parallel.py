@@ -113,28 +113,3 @@ class TestSparkline:
 
     def test_empty(self):
         assert sparkline([]) == ""
-
-
-class TestAnalysisShim:
-    def test_forwarded_names_warn_and_match(self):
-        import warnings
-
-        import repro.analysis.robustness as shim
-        import repro.bench.robustness as real
-
-        for name in shim.__all__:
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                forwarded = getattr(shim, name)
-            assert any(
-                issubclass(w.category, DeprecationWarning)
-                and "repro.bench.robustness" in str(w.message)
-                for w in caught
-            ), f"no DeprecationWarning for {name}"
-            assert forwarded is getattr(real, name)
-
-    def test_unknown_name_still_raises(self):
-        import repro.analysis.robustness as shim
-
-        with pytest.raises(AttributeError):
-            shim.not_a_thing
